@@ -1,0 +1,274 @@
+//! # stq-baseline
+//!
+//! The paper's combined baseline (§5.1.2): **Euler histograms** [15, 19]
+//! counting objects per face of the sensing graph `G`, with **uniform random
+//! face sampling** [14, 29] deciding which faces are materialized.
+//!
+//! Per sampled face (junction cell) the histogram stores time-bucketed
+//! arrival and departure counts — aggregates, no identifiers. A query sums
+//! the counts of the sampled faces inside the region: coverage is capped by
+//! whichever faces happened to be sampled ("the area of the sampled faces
+//! predetermines the maximum coverage", §5.3), and every sampled face inside
+//! the query region must be contacted, so communication grows linearly with
+//! the query area (§5.4) — the two weaknesses the paper's framework removes.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stq_mobility::{Time, Trajectory};
+
+/// Per-cell Euler histogram: bucketed arrival/departure counts.
+#[derive(Clone, Debug, Default)]
+struct CellHist {
+    /// `(bucket, count)` pairs, sorted by bucket.
+    arrivals: Vec<(u32, u32)>,
+    departures: Vec<(u32, u32)>,
+}
+
+impl CellHist {
+    fn bump(seq: &mut Vec<(u32, u32)>, bucket: u32) {
+        match seq.last_mut() {
+            Some((b, c)) if *b == bucket => *c += 1,
+            _ => seq.push((bucket, 1)),
+        }
+    }
+
+    fn cum(seq: &[(u32, u32)], bucket: u32) -> u32 {
+        let idx = seq.partition_point(|&(b, _)| b <= bucket);
+        seq[..idx].iter().map(|&(_, c)| c).sum()
+    }
+
+    fn bytes(&self) -> usize {
+        (self.arrivals.len() + self.departures.len()) * 8
+    }
+}
+
+/// The baseline index: histograms for a uniformly sampled subset of faces.
+#[derive(Clone, Debug)]
+pub struct BaselineIndex {
+    /// Time-bucket width.
+    bucket: Time,
+    t_origin: Time,
+    /// Histograms, only for sampled cells.
+    cells: HashMap<usize, CellHist>,
+    sampled: HashSet<usize>,
+}
+
+impl BaselineIndex {
+    /// Builds the baseline over a workload.
+    ///
+    /// `cells` is the universe of junction cells; `fraction` of them are
+    /// uniformly sampled (at least one). Events are bucketed at `bucket`
+    /// seconds — the temporal resolution real Euler-histogram deployments
+    /// trade storage against.
+    pub fn build(
+        cells: &[usize],
+        trajectories: &[Trajectory],
+        fraction: f64,
+        bucket: Time,
+        seed: u64,
+    ) -> Self {
+        assert!(bucket > 0.0, "bucket width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = ((cells.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize)
+            .clamp(1, cells.len());
+        let mut idx: Vec<usize> = (0..cells.len()).collect();
+        for i in 0..m {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let sampled: HashSet<usize> = idx[..m].iter().map(|&i| cells[i]).collect();
+
+        let t_origin = trajectories
+            .iter()
+            .filter_map(|t| t.visits.first().map(|&(t0, _)| t0))
+            .fold(f64::INFINITY, f64::min)
+            .min(0.0);
+
+        let mut hists: HashMap<usize, CellHist> = HashMap::new();
+        let to_bucket = |t: Time| ((t - t_origin) / bucket).floor().max(0.0) as u32;
+        // Collect events globally sorted so per-cell sequences stay ordered.
+        let mut events: Vec<(Time, usize, bool)> = Vec::new(); // (t, cell, is_arrival)
+        for traj in trajectories {
+            for (i, &(t, j)) in traj.visits.iter().enumerate() {
+                if sampled.contains(&j) {
+                    events.push((t, j, true));
+                    if let Some(&(t_next, _)) = traj.visits.get(i + 1) {
+                        events.push((t_next, j, false));
+                    }
+                }
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (t, cell, arr) in events {
+            let h = hists.entry(cell).or_default();
+            let b = to_bucket(t);
+            if arr {
+                CellHist::bump(&mut h.arrivals, b);
+            } else {
+                CellHist::bump(&mut h.departures, b);
+            }
+        }
+        BaselineIndex { bucket, t_origin, cells: hists, sampled }
+    }
+
+    fn bucket_of(&self, t: Time) -> u32 {
+        ((t - self.t_origin) / self.bucket).floor().max(0.0) as u32
+    }
+
+    /// The sampled faces.
+    pub fn sampled(&self) -> &HashSet<usize> {
+        &self.sampled
+    }
+
+    /// Present count in one sampled cell at time `t` (0 for unsampled).
+    fn present(&self, cell: usize, t: Time) -> i64 {
+        match self.cells.get(&cell) {
+            Some(h) => {
+                let b = self.bucket_of(t);
+                CellHist::cum(&h.arrivals, b) as i64 - CellHist::cum(&h.departures, b) as i64
+            }
+            None => 0,
+        }
+    }
+
+    /// Snapshot estimate: objects in the region at `t`, summed over sampled
+    /// faces inside the region.
+    pub fn snapshot(&self, region: &HashSet<usize>, t: Time) -> f64 {
+        self.covered(region).map(|c| self.present(c, t)).sum::<i64>() as f64
+    }
+
+    /// Transient estimate over `(t0, t1]`: net arrivals − departures.
+    pub fn transient(&self, region: &HashSet<usize>, t0: Time, t1: Time) -> f64 {
+        let (b0, b1) = (self.bucket_of(t0), self.bucket_of(t1));
+        self.covered(region)
+            .filter_map(|c| self.cells.get(&c))
+            .map(|h| {
+                let arr = CellHist::cum(&h.arrivals, b1) as i64 - CellHist::cum(&h.arrivals, b0) as i64;
+                let dep =
+                    CellHist::cum(&h.departures, b1) as i64 - CellHist::cum(&h.departures, b0) as i64;
+                arr - dep
+            })
+            .sum::<i64>() as f64
+    }
+
+    /// Static interval estimate: `min(snapshot(t0), snapshot(t1))`, the same
+    /// aggregate estimator family as the framework's (see
+    /// `stq_forms::static_interval_count`).
+    pub fn static_interval(&self, region: &HashSet<usize>, t0: Time, t1: Time) -> f64 {
+        self.snapshot(region, t0).min(self.snapshot(region, t1)).max(0.0)
+    }
+
+    /// Sampled faces inside the region — every one must be contacted to
+    /// answer a query (the linear communication cost of Fig. 11c).
+    pub fn nodes_accessed(&self, region: &HashSet<usize>) -> usize {
+        self.covered(region).count()
+    }
+
+    fn covered<'a>(&'a self, region: &'a HashSet<usize>) -> impl Iterator<Item = usize> + 'a {
+        region.iter().copied().filter(move |c| self.sampled.contains(c))
+    }
+
+    /// Storage footprint of all histograms.
+    pub fn storage_bytes(&self) -> usize {
+        self.cells.values().map(|h| h.bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(id: u64, visits: &[(f64, usize)]) -> Trajectory {
+        Trajectory { id, visits: visits.to_vec() }
+    }
+
+    /// With fraction 1.0 and a fine bucket, the baseline is exact.
+    #[test]
+    fn full_sampling_fine_buckets_exact() {
+        let cells: Vec<usize> = (0..10).collect();
+        let trajs = vec![
+            traj(1, &[(0.0, 9), (1.0, 2), (5.0, 3), (9.0, 9)]),
+            traj(2, &[(2.0, 2), (4.0, 4)]),
+        ];
+        let idx = BaselineIndex::build(&cells, &trajs, 1.0, 0.1, 7);
+        let region: HashSet<usize> = [2, 3].into_iter().collect();
+        assert_eq!(idx.snapshot(&region, 1.5), 1.0); // object 1 at cell 2
+        assert_eq!(idx.snapshot(&region, 2.5), 2.0); // both
+        assert_eq!(idx.snapshot(&region, 4.5), 1.0); // object 2 left to 4
+        assert_eq!(idx.snapshot(&region, 6.0), 1.0); // object 1 at 3
+        assert_eq!(idx.snapshot(&region, 9.5), 0.0);
+        assert_eq!(idx.transient(&region, 1.5, 2.5), 1.0);
+        assert_eq!(idx.transient(&region, 2.5, 9.5), -2.0);
+    }
+
+    #[test]
+    fn partial_sampling_undercounts() {
+        let cells: Vec<usize> = (0..50).collect();
+        // 10 objects parked in 10 distinct cells.
+        let trajs: Vec<Trajectory> =
+            (0..10).map(|i| traj(i as u64, &[(0.0, i as usize)])).collect();
+        let idx = BaselineIndex::build(&cells, &trajs, 0.3, 1.0, 3);
+        let region: HashSet<usize> = (0..10).collect();
+        let est = idx.snapshot(&region, 5.0);
+        assert!(est <= 10.0);
+        assert!(est >= 0.0);
+        // nodes accessed = sampled cells inside the region only.
+        assert_eq!(idx.nodes_accessed(&region), region.iter().filter(|c| idx.sampled().contains(c)).count());
+    }
+
+    #[test]
+    fn coarse_buckets_blur_time() {
+        let cells: Vec<usize> = (0..4).collect();
+        let trajs = vec![traj(1, &[(0.0, 1), (10.0, 2)])];
+        // Bucket of 100s: both events land in bucket 0.
+        let idx = BaselineIndex::build(&cells, &trajs, 1.0, 100.0, 1);
+        let region: HashSet<usize> = [1].into_iter().collect();
+        // Anywhere in the first bucket the arrival AND departure both count.
+        assert_eq!(idx.snapshot(&region, 5.0), 0.0);
+        // A fine bucket resolves it.
+        let fine = BaselineIndex::build(&cells, &trajs, 1.0, 0.5, 1);
+        assert_eq!(fine.snapshot(&region, 5.0), 1.0);
+    }
+
+    #[test]
+    fn static_interval_lower_bound() {
+        let cells: Vec<usize> = (0..5).collect();
+        let trajs = vec![
+            traj(1, &[(0.0, 2)]),          // stays forever
+            traj(2, &[(0.0, 2), (5.0, 3)]), // leaves cell 2 at t=5
+        ];
+        let idx = BaselineIndex::build(&cells, &trajs, 1.0, 0.1, 1);
+        let region: HashSet<usize> = [2].into_iter().collect();
+        assert_eq!(idx.static_interval(&region, 1.0, 10.0), 1.0);
+        assert_eq!(idx.static_interval(&region, 1.0, 2.0), 2.0);
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let cells: Vec<usize> = (0..100).collect();
+        let a = BaselineIndex::build(&cells, &[], 0.2, 1.0, 9);
+        let b = BaselineIndex::build(&cells, &[], 0.2, 1.0, 9);
+        assert_eq!(a.sampled(), b.sampled());
+        assert_eq!(a.sampled().len(), 20);
+    }
+
+    #[test]
+    fn storage_grows_with_events() {
+        let cells: Vec<usize> = (0..5).collect();
+        let few = vec![traj(1, &[(0.0, 1), (1.0, 2)])];
+        let many: Vec<Trajectory> = (0..50)
+            .map(|i| traj(i, &[(i as f64, 1), (i as f64 + 0.5, 2), (i as f64 + 0.7, 3)]))
+            .collect();
+        let a = BaselineIndex::build(&cells, &few, 1.0, 0.1, 1);
+        let b = BaselineIndex::build(&cells, &many, 1.0, 0.1, 1);
+        assert!(b.storage_bytes() > a.storage_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket")]
+    fn zero_bucket_rejected() {
+        let _ = BaselineIndex::build(&[0], &[], 1.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: with full sampling and fine buckets the Euler-histogram
+//! baseline is exact; partial sampling only ever undercounts present
+//! populations.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use stq_baseline::BaselineIndex;
+use stq_mobility::Trajectory;
+
+/// Random stay-then-hop object histories over `cells` cells.
+fn world() -> impl Strategy<Value = (usize, Vec<Trajectory>)> {
+    (4usize..12).prop_flat_map(|cells| {
+        let trajs = proptest::collection::vec(
+            (0..cells, proptest::collection::vec((0..cells, 0.5f64..5.0), 0..12)),
+            1..8,
+        );
+        (Just(cells), trajs).prop_map(|(cells, specs)| {
+            let trajectories = specs
+                .into_iter()
+                .enumerate()
+                .map(|(id, (start, hops))| {
+                    let mut t = 0.0;
+                    let mut visits = vec![(t, start)];
+                    for (cell, dwell) in hops {
+                        t += dwell;
+                        visits.push((t, cell));
+                    }
+                    Trajectory { id: id as u64, visits }
+                })
+                .collect();
+            (cells, trajectories)
+        })
+    })
+}
+
+fn oracle_present(trajs: &[Trajectory], region: &HashSet<usize>, t: f64) -> i64 {
+    trajs
+        .iter()
+        .filter(|traj| {
+            let idx = traj.visits.partition_point(|&(ts, _)| ts <= t);
+            idx > 0 && region.contains(&traj.visits[idx - 1].1)
+        })
+        .count() as i64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_sampling_fine_buckets_is_exact((cells, trajs) in world(),
+                                           probe in 0.1f64..60.0, mask in 1u32..4096) {
+        let universe: Vec<usize> = (0..cells).collect();
+        let idx = BaselineIndex::build(&universe, &trajs, 1.0, 1e-3, 7);
+        let region: HashSet<usize> =
+            (0..cells).filter(|&c| mask & (1 << (c % 12)) != 0).collect();
+        // Avoid probing exactly at event times (bucket boundaries).
+        let t = probe + 1e-4;
+        let est = idx.snapshot(&region, t);
+        let truth = oracle_present(&trajs, &region, t) as f64;
+        prop_assert!((est - truth).abs() < 1e-9, "est {est} truth {truth}");
+    }
+
+    #[test]
+    fn transient_is_snapshot_difference((cells, trajs) in world(),
+                                        a in 0.1f64..30.0, d in 0.1f64..30.0) {
+        let universe: Vec<usize> = (0..cells).collect();
+        let idx = BaselineIndex::build(&universe, &trajs, 1.0, 1e-3, 7);
+        let region: HashSet<usize> = (0..cells / 2).collect();
+        let (t0, t1) = (a + 1e-4, a + d + 2e-4);
+        let net = idx.transient(&region, t0, t1);
+        let diff = idx.snapshot(&region, t1) - idx.snapshot(&region, t0);
+        prop_assert!((net - diff).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_sampling_never_overcounts_snapshot((cells, trajs) in world(),
+                                                  frac in 0.1f64..0.9, seed in 0u64..50,
+                                                  probe in 0.1f64..60.0) {
+        let universe: Vec<usize> = (0..cells).collect();
+        let idx = BaselineIndex::build(&universe, &trajs, frac, 1e-3, seed);
+        let region: HashSet<usize> = (0..cells).collect();
+        let t = probe + 1e-4;
+        let est = idx.snapshot(&region, t);
+        let truth = oracle_present(&trajs, &region, t) as f64;
+        prop_assert!(est <= truth + 1e-9, "sampled {est} exceeds truth {truth}");
+        prop_assert!(est >= 0.0);
+    }
+
+    #[test]
+    fn nodes_accessed_counts_sampled_cells((cells, trajs) in world(), frac in 0.1f64..1.0,
+                                           seed in 0u64..50) {
+        let universe: Vec<usize> = (0..cells).collect();
+        let idx = BaselineIndex::build(&universe, &trajs, frac, 1.0, seed);
+        let region: HashSet<usize> = (0..cells).collect();
+        prop_assert_eq!(idx.nodes_accessed(&region), idx.sampled().len());
+        let empty: HashSet<usize> = HashSet::new();
+        prop_assert_eq!(idx.nodes_accessed(&empty), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Microbenchmark behind §4.8: per-edge cumulative-count lookups — binary
+//! search over explicit timestamp logs vs O(1) model inference — plus model
+//! fitting throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stq_core::LearnedStore;
+use stq_forms::{CountSource, FormStore};
+use stq_learned::RegressorKind;
+
+fn filled_store(events_per_edge: usize) -> FormStore {
+    let mut s = FormStore::new(64);
+    for e in 0..64 {
+        let mut t = 0.0;
+        for i in 0..events_per_edge {
+            t += 1.0 + 0.4 * ((i * (e + 1)) as f64 * 0.01).sin();
+            s.record(e, i % 3 != 0, t);
+        }
+    }
+    s
+}
+
+fn edge_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_store_lookup");
+    for &n in &[100usize, 1_000, 10_000] {
+        let exact = filled_store(n);
+        let probes: Vec<f64> = (0..256).map(|i| (i as f64 / 255.0) * n as f64).collect();
+        group.bench_with_input(BenchmarkId::new("binary_search", n), &probes, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (i, &t) in ps.iter().enumerate() {
+                    acc += exact.count_until(i % 64, true, t);
+                }
+                std::hint::black_box(acc)
+            })
+        });
+        for kind in [RegressorKind::Linear, RegressorKind::PiecewiseLinear(8)] {
+            let learned = LearnedStore::fit(&exact, None, kind);
+            group.bench_with_input(
+                BenchmarkId::new(format!("model_{}", kind.label()), n),
+                &probes,
+                |b, ps| {
+                    b.iter(|| {
+                        let mut acc = 0.0;
+                        for (i, &t) in ps.iter().enumerate() {
+                            acc += learned.count_until(i % 64, true, t);
+                        }
+                        std::hint::black_box(acc)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let mut fit_group = c.benchmark_group("edge_store_fit");
+    fit_group.sample_size(20);
+    let exact = filled_store(5_000);
+    for kind in RegressorKind::standard_set() {
+        fit_group.bench_function(kind.label(), |b| {
+            b.iter(|| std::hint::black_box(LearnedStore::fit(&exact, None, kind)))
+        });
+    }
+    fit_group.finish();
+}
+
+criterion_group!(benches, edge_store);
+criterion_main!(benches);

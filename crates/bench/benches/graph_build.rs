@@ -1,0 +1,57 @@
+//! Microbenchmark of sampled-graph construction (§4.5): sampling, abstract
+//! edge generation (triangulation vs k-NN) and shortest-path materialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stq_core::prelude::*;
+use stq_sampling::{sample, SamplingMethod};
+
+fn graph_build(c: &mut Criterion) {
+    let s = Scenario::build(ScenarioConfig {
+        junctions: 500,
+        mix: WorkloadMix { random_waypoint: 5, commuter: 5, transit: 5 },
+        seed: 31,
+        ..Default::default()
+    });
+    let cands = s.sensing.sensor_candidates();
+
+    let mut group = c.benchmark_group("sampled_graph_build");
+    group.sample_size(10);
+    for &frac in &[0.06, 0.256] {
+        let m = ((cands.len() as f64 * frac) as usize).max(3);
+        let faces: Vec<usize> = sample(SamplingMethod::QuadTree, &cands, m, 7)
+            .into_iter()
+            .map(|x| x as usize)
+            .collect();
+        for (label, conn) in [
+            ("triangulation", Connectivity::Triangulation),
+            ("knn5", Connectivity::Knn(5)),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, frac), &faces, |b, f| {
+                b.iter(|| {
+                    std::hint::black_box(SampledGraph::from_sensors(&s.sensing, f, conn))
+                })
+            });
+        }
+    }
+    // Submodular pipeline.
+    let historical = s.historical_regions(50, 0.02, 3);
+    group.bench_function("submodular_b300", |b| {
+        b.iter(|| {
+            std::hint::black_box(SampledGraph::from_submodular(&s.sensing, &historical, 300.0))
+        })
+    });
+    group.finish();
+
+    // Sampling methods alone.
+    let mut sg = c.benchmark_group("sensor_sampling");
+    for method in SamplingMethod::ALL {
+        sg.bench_function(method.label(), |b| {
+            b.iter(|| std::hint::black_box(sample(method, &cands, cands.len() / 10, 11)))
+        });
+    }
+    sg.finish();
+}
+
+criterion_group!(benches, graph_build);
+criterion_main!(benches);

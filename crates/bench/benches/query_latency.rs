@@ -1,0 +1,52 @@
+//! Criterion microbenchmark behind Fig. 11d: per-query latency on the
+//! sampled graph vs the unsampled graph vs the baseline, across query areas.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stq_bench::{build_evaluator, evaluate, Evaluator, Method};
+use stq_core::prelude::*;
+
+fn bench_scenario() -> Scenario {
+    Scenario::build(ScenarioConfig {
+        junctions: 500,
+        mix: WorkloadMix { random_waypoint: 60, commuter: 60, transit: 30 },
+        seed: 2024,
+        ..Default::default()
+    })
+}
+
+fn query_latency(c: &mut Criterion) {
+    let s = bench_scenario();
+    let sampled = build_evaluator(
+        &s,
+        Method::Sampling(stq_sampling::SamplingMethod::QuadTree),
+        0.06,
+        7,
+        &[],
+    );
+    let unsampled = Evaluator::Graph(SampledGraph::unsampled(&s.sensing));
+    let baseline = build_evaluator(&s, Method::Baseline, 0.06, 7, &[]);
+
+    let mut group = c.benchmark_group("query_latency");
+    group.sample_size(20);
+    for &area in &[0.01, 0.04, 0.16] {
+        let queries = s.make_queries(10, area, 2_000.0, 99);
+        for (label, ev) in
+            [("sampled6", &sampled), ("unsampled", &unsampled), ("baseline6", &baseline)]
+        {
+            group.bench_with_input(BenchmarkId::new(label, area), &queries, |b, qs| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for (q, t0, t1) in qs {
+                        acc += evaluate(&s, ev, q, QueryKind::Transient(*t0, *t1)).value;
+                    }
+                    std::hint::black_box(acc)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, query_latency);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmark of submodular maximization (§4.4): naive greedy vs lazy
+//! (CELF) greedy on weighted-coverage instances of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stq_submod::{cost_benefit_greedy, greedy, lazy_greedy, CoverageObjective};
+
+fn instance(items: usize, elements: usize, seed: u64) -> CoverageObjective {
+    // Deterministic pseudo-random covers of ~8 elements each.
+    let mut state = seed;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let covers: Vec<Vec<usize>> = (0..items)
+        .map(|_| (0..8).map(|_| (next() % elements as u64) as usize).collect())
+        .collect();
+    let weights: Vec<f64> = (0..elements).map(|e| 1.0 + (e % 7) as f64).collect();
+    CoverageObjective::new(covers, weights, vec![1.0; items])
+}
+
+fn submod(c: &mut Criterion) {
+    let mut group = c.benchmark_group("submodular_greedy");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 800] {
+        let obj = instance(n, n * 4, 42);
+        let budget = (n / 10) as f64;
+        group.bench_with_input(BenchmarkId::new("naive", n), &obj, |b, o| {
+            b.iter(|| std::hint::black_box(greedy(o, budget)))
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_celf", n), &obj, |b, o| {
+            b.iter(|| std::hint::black_box(lazy_greedy(o, budget, false)))
+        });
+        group.bench_with_input(BenchmarkId::new("cost_benefit", n), &obj, |b, o| {
+            b.iter(|| std::hint::black_box(cost_benefit_greedy(o, budget)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, submod);
+criterion_main!(benches);

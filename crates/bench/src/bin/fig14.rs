@@ -1,0 +1,195 @@
+//! Figure 14 — connectivity and learned-store ablations:
+//! (a) k-NN (k = 3, 5, 8) vs triangulation: lower-bound error vs query area
+//!     (QuadTree sampling, graph size 6%),
+//! (b) monitored sensing edges relative to `G` per connectivity,
+//! (c) extra error of regression models vs explicit storage — static,
+//! (d) the same — transient.
+//!
+//! ```sh
+//! cargo run --release -p stq-bench --bin fig14
+//! ```
+
+use stq_bench::*;
+use stq_core::prelude::*;
+use stq_learned::RegressorKind;
+use stq_sampling::SamplingMethod;
+
+fn quadtree_faces(s: &Scenario, size: f64, seed: u64) -> Vec<usize> {
+    let cands = s.sensing.sensor_candidates();
+    let m = ((cands.len() as f64 * size).round() as usize).clamp(3, cands.len());
+    stq_sampling::sample(SamplingMethod::QuadTree, &cands, m, seed)
+        .into_iter()
+        .map(|x| x as usize)
+        .collect()
+}
+
+fn main() {
+    println!("# Figure 14 — k-NN connectivity and regression-model overhead");
+    println!("(median [P25,P75] over {} seeds)", SEEDS.len());
+
+    let scenarios: Vec<Scenario> = parallel_map(SEEDS.len(), |i| paper_scenario(SEEDS[i]));
+
+    let conns: Vec<(String, Connectivity)> = vec![
+        ("triangulation".into(), Connectivity::Triangulation),
+        ("knn k=3".into(), Connectivity::Knn(3)),
+        ("knn k=5".into(), Connectivity::Knn(5)),
+        ("knn k=8".into(), Connectivity::Knn(8)),
+    ];
+
+    // Build one graph per (connectivity, seed).
+    let graphs: Vec<Vec<SampledGraph>> = parallel_map(conns.len(), |ci| {
+        scenarios
+            .iter()
+            .enumerate()
+            .map(|(si, s)| {
+                let faces = quadtree_faces(s, FIXED_GRAPH_SIZE, SEEDS[si] ^ 0x51);
+                SampledGraph::from_sensors(&s.sensing, &faces, conns[ci].1)
+            })
+            .collect()
+    });
+
+    // (a) error vs query area per connectivity.
+    let series_a: Vec<(String, Vec<Stats>)> = parallel_map(conns.len(), |ci| {
+        let col: Vec<Stats> = QUERY_AREAS
+            .iter()
+            .map(|&area| {
+                let mut errs = Vec::new();
+                for (si, s) in scenarios.iter().enumerate() {
+                    let ev = Evaluator::Graph(graphs[ci][si].clone());
+                    let queries = s.make_queries(30, area, 2_000.0, SEEDS[si] ^ 0x61);
+                    errs.extend(relative_errors(s, &ev, &queries, |t0, _| {
+                        QueryKind::Snapshot(t0)
+                    }));
+                }
+                stats(&errs)
+            })
+            .collect();
+        (conns[ci].0.clone(), col)
+    });
+    print_table(
+        "Fig 14a: lower-bound error vs query area per connectivity (quadtree 6%)",
+        "query area",
+        &QUERY_AREAS,
+        &series_a,
+    );
+
+    // (b) monitored-edge fraction and boundary edges accessed per query.
+    println!("\n## Fig 14b: edges monitored / accessed per connectivity (quadtree 6%)");
+    println!(
+        "{:>16} | {:>22} | {:>26}",
+        "connectivity", "monitored edges / |E|", "boundary edges per query"
+    );
+    for (ci, (label, _)) in conns.iter().enumerate() {
+        let mut fracs = Vec::new();
+        let mut accessed = Vec::new();
+        for (si, s) in scenarios.iter().enumerate() {
+            let g = &graphs[ci][si];
+            fracs.push(g.num_monitored_edges() as f64 / s.sensing.num_edges() as f64);
+            let queries = s.make_queries(20, 0.04, 2_000.0, SEEDS[si] ^ 0x71);
+            for (q, t0, _) in &queries {
+                let out = answer(
+                    &s.sensing,
+                    g,
+                    &s.tracked.store,
+                    q,
+                    QueryKind::Snapshot(*t0),
+                    Approximation::Lower,
+                );
+                if !out.miss {
+                    accessed.push(out.edges_accessed as f64);
+                }
+            }
+        }
+        let f = stats(&fracs);
+        let a = stats(&accessed);
+        println!("{label:>16} | {:>22.4} | {:>26.1}", f.median, a.median);
+    }
+
+    // (c,d) regression-model extra error vs explicit storage, same sampled
+    // graph (triangulation), per model family.
+    let mut kinds = RegressorKind::standard_set();
+    // A finer piecewise model: at this workload's ~24 events per edge
+    // direction it degenerates to an exact step CDF (still constant-size),
+    // showing the accuracy/size knob the §4.8 buffer design exposes.
+    kinds.push(RegressorKind::PiecewiseLinear(64));
+    for (title, which) in [("Fig 14c: static", 0usize), ("Fig 14d: transient", 1)] {
+        let series: Vec<(String, Vec<Stats>)> = parallel_map(kinds.len(), |ki| {
+            let kind = kinds[ki];
+            let col: Vec<Stats> = QUERY_AREAS
+                .iter()
+                .map(|&area| {
+                    // Aggregate-normalized penalty per seed:
+                    // Σ|exact − model| / Σ|exact| over the query batch —
+                    // the model-induced extra error isolated from sampling
+                    // error (§5.8), robust to single-digit counts.
+                    let mut extra = Vec::new();
+                    for (si, s) in scenarios.iter().enumerate() {
+                        let g = &graphs[0][si];
+                        let learned =
+                            LearnedStore::fit(&s.tracked.store, Some(g.monitored()), kind);
+                        let queries = s.make_queries(20, area, 2_000.0, SEEDS[si] ^ 0x81);
+                        let mut num = 0.0;
+                        let mut den = 0.0;
+                        for (q, t0, t1) in &queries {
+                            let qk = if which == 0 {
+                                QueryKind::Static(*t0, *t1)
+                            } else {
+                                QueryKind::Transient(*t0, *t1)
+                            };
+                            let exact = answer(
+                                &s.sensing,
+                                g,
+                                &s.tracked.store,
+                                q,
+                                qk,
+                                Approximation::Lower,
+                            );
+                            if exact.miss {
+                                continue;
+                            }
+                            let model =
+                                answer(&s.sensing, g, &learned, q, qk, Approximation::Lower);
+                            num += (exact.value - model.value).abs();
+                            den += exact.value.abs();
+                        }
+                        if den > 0.0 {
+                            extra.push(num / den);
+                        }
+                    }
+                    stats(&extra)
+                })
+                .collect();
+            (kind.label(), col)
+        });
+        print_table(
+            &format!("{title}: model-induced extra relative error vs query area"),
+            "query area",
+            &QUERY_AREAS,
+            &series,
+        );
+    }
+
+    // Model storage summary (complements Fig 11e).
+    println!("\n## model storage (bytes/edge, triangulation 6%, seed {})", SEEDS[0]);
+    let s0 = &scenarios[0];
+    let g0 = &graphs[0][0];
+    use stq_forms::CountSource;
+    let exact_bytes: usize = g0
+        .monitored()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(e, _)| s0.tracked.store.form(e).storage_bytes())
+        .sum();
+    println!("{:>12} | {:>12} | {:>14}", "model", "bytes/edge", "vs exact");
+    println!("{:>12} | {:>12.1} | {:>13.1}%", "exact", exact_bytes as f64 / g0.num_monitored_edges() as f64, 100.0);
+    for kind in &kinds {
+        let learned = LearnedStore::fit(&s0.tracked.store, Some(g0.monitored()), *kind);
+        println!(
+            "{:>12} | {:>12.1} | {:>13.2}%",
+            kind.label(),
+            learned.storage_bytes() as f64 / learned.num_modelled() as f64,
+            100.0 * learned.storage_bytes() as f64 / exact_bytes as f64
+        );
+    }
+}

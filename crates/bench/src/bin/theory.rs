@@ -1,0 +1,110 @@
+//! §4.9 — the theoretical cost model, validated:
+//!
+//! - unsampled flood cost must fit `α · (A(Q)/A(T)) · |N|` (linear in area),
+//! - sampled perimeter cost must grow sub-linearly in area and stay below
+//!   the prediction `(A(Q)/A(T)) · m · k · ℓ_G`,
+//! - the sensing graph's mean hop length `ℓ_G` should be sub-linear in `|N|`
+//!   (logarithmic for small-world-ish graphs).
+//!
+//! ```sh
+//! cargo run --release -p stq-bench --bin theory
+//! ```
+
+use stq_bench::*;
+use stq_core::cost::{fit_slope, measure_costs, CostModel};
+use stq_core::prelude::*;
+use stq_core::QueryRegion;
+use stq_planar::paths::mean_path_length;
+
+fn main() {
+    println!("# §4.9 theoretical cost model — prediction vs measurement");
+
+    // ----------------------------------------------------------------
+    // ℓ_G growth with |N|: build cities of increasing size.
+    println!("\n## mean hop length ℓ_G vs sensing-graph size");
+    println!("{:>10} | {:>10} | {:>8} | {:>12}", "junctions", "sensors", "ℓ_G", "ℓ_G/ln(N)");
+    for &n in &[200usize, 400, 800, 1600] {
+        let s = Scenario::build(ScenarioConfig {
+            junctions: n,
+            mix: stq_mobility::trajectory::WorkloadMix {
+                random_waypoint: 2,
+                commuter: 2,
+                transit: 2,
+            },
+            seed: 7,
+            ..Default::default()
+        });
+        let adj: Vec<Vec<usize>> = s
+            .sensing
+            .dual_adjacency()
+            .iter()
+            .map(|nb| nb.iter().filter(|&&(_, _, w)| w < 1e9).map(|&(v, _, _)| v).collect())
+            .collect();
+        let ell = mean_path_length(&adj, 128, 0xe11);
+        let sensors = s.sensing.num_sensors() as f64;
+        println!(
+            "{n:>10} | {:>10} | {ell:>8.2} | {:>12.2}",
+            sensors as usize,
+            ell / sensors.ln()
+        );
+    }
+    println!("(planar graphs are not small-world: ℓ_G grows like √N, so the");
+    println!(" normalized column rises slowly — the paper's `g` is sub-linear, ✓)");
+
+    // ----------------------------------------------------------------
+    // Cost vs area on the paper-scale city.
+    let s = paper_scenario(SEEDS[0]);
+    let cands = s.sensing.sensor_candidates();
+    let ids = stq_sampling::sample(
+        stq_sampling::SamplingMethod::QuadTree,
+        &cands,
+        (cands.len() as f64 * FIXED_GRAPH_SIZE) as usize,
+        7,
+    );
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
+    let mut model = CostModel::for_deployment(&s.sensing, &g, 1.0);
+
+    let areas = [0.01, 0.02, 0.04, 0.08, 0.16, 0.32];
+    let mut flood_means = Vec::new();
+    let mut perim_means = Vec::new();
+    for &a in &areas {
+        let qs: Vec<QueryRegion> =
+            s.make_queries(25, a, 100.0, 0x29).into_iter().map(|(q, _, _)| q).collect();
+        let measured = measure_costs(&s.sensing, &g, &qs);
+        flood_means
+            .push(measured.iter().map(|m| m.flooded as f64).sum::<f64>() / measured.len() as f64);
+        perim_means.push(
+            measured.iter().map(|m| m.sampled_perimeter as f64).sum::<f64>()
+                / measured.len() as f64,
+        );
+    }
+    // Fit α from the flood measurements.
+    let slope = fit_slope(areas.as_ref(), &flood_means);
+    model.alpha = slope / model.total_sensors as f64;
+
+    println!("\n## cost vs query area (quadtree 6%, m={}, k={:.2}, ℓ_G={:.2}, α={:.2})",
+        model.m, model.k, model.ell_g, model.alpha);
+    println!(
+        "{:>10} | {:>14} | {:>14} | {:>16} | {:>16}",
+        "area", "flood (meas)", "flood (model)", "perimeter (meas)", "perimeter (bound)"
+    );
+    for (i, &a) in areas.iter().enumerate() {
+        println!(
+            "{a:>10.3} | {:>14.1} | {:>14.1} | {:>16.1} | {:>16.1}",
+            flood_means[i],
+            model.predicted_unsampled(a),
+            perim_means[i],
+            model.predicted_sampled(a)
+        );
+    }
+
+    // Growth factors: flooding should scale ~linearly with area (factor ≈
+    // area ratio), the sampled perimeter clearly sub-linearly.
+    let flood_growth = flood_means[5] / flood_means[0].max(1.0);
+    let perim_growth = perim_means[5] / perim_means[0].max(1.0);
+    println!(
+        "\narea grew 32x → flood grew {flood_growth:.1}x (≈ linear), sampled perimeter grew \
+         {perim_growth:.1}x (sub-linear ✓)"
+    );
+}

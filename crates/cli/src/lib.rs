@@ -1,0 +1,421 @@
+//! # stq-cli
+//!
+//! Command-line driver for the `stq` framework. The binary is `stq`:
+//!
+//! ```sh
+//! stq generate --junctions 600 --seed 7 --svg city.svg
+//! stq simulate --junctions 600 --objects 150 --seed 7
+//! stq deploy   --junctions 600 --method quadtree --size 0.1 --svg deploy.svg
+//! stq query    --junctions 600 --method quadtree --size 0.1 \
+//!              --kind transient --area 0.05 --queries 10
+//! ```
+//!
+//! The command surface is a thin, deterministic wrapper over the library —
+//! every run is reproducible from its flags. Argument parsing is hand
+//! rolled (the workspace's dependency policy keeps external crates to the
+//! approved list).
+
+use std::collections::HashMap;
+
+use stq_core::prelude::*;
+use stq_mobility::stats::{population_curve, WorkloadStats};
+use stq_sampling::SamplingMethod;
+
+/// Parsed command-line arguments: a subcommand plus `--key value` flags.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// The subcommand name (`generate`, `simulate`, `deploy`, `query`).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+/// CLI errors (bad flags, unknown commands, I/O).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad flags or an unknown command; the message is user-facing.
+    Usage(String),
+    /// Filesystem failure while writing an output artifact.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, CliError> {
+        let mut it = argv.into_iter();
+        let command = it
+            .next()
+            .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+        let mut flags = HashMap::new();
+        while let Some(key) = it.next() {
+            let key = key
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got {key}")))?
+                .to_string();
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
+            flags.insert(key, value);
+        }
+        Ok(Args { command, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for --{key}: {v}"))),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+stq — in-network spatiotemporal range queries (EDBT 2024 reproduction)
+
+USAGE: stq <command> [--flag value]...
+
+COMMANDS:
+  generate   build a synthetic city            [--junctions N --seed S --svg FILE]
+  simulate   build city + workload, print stats[--junctions N --objects K --seed S]
+  deploy     select sensors, build G̃           [--method M --size F --knn K --svg FILE]
+  query      answer range count queries        [--kind snapshot|static|transient
+                                                --area F --queries N --learned MODEL]
+common flags: --junctions N (600) --objects K (120) --seed S (2024)
+methods: uniform|systematic|stratified|kdtree|quadtree";
+
+fn scenario_from(args: &Args) -> Result<Scenario, CliError> {
+    let junctions: usize = args.get("junctions", 600)?;
+    let objects: usize = args.get("objects", 120)?;
+    let seed: u64 = args.get("seed", 2024)?;
+    Ok(Scenario::build(ScenarioConfig {
+        junctions,
+        mix: WorkloadMix {
+            random_waypoint: objects / 3,
+            commuter: objects / 3,
+            transit: objects - 2 * (objects / 3),
+        },
+        seed,
+        ..Default::default()
+    }))
+}
+
+fn method_from(args: &Args) -> Result<SamplingMethod, CliError> {
+    match args.get_str("method").unwrap_or("quadtree") {
+        "uniform" => Ok(SamplingMethod::Uniform),
+        "systematic" => Ok(SamplingMethod::Systematic),
+        "stratified" => Ok(SamplingMethod::Stratified),
+        "kdtree" => Ok(SamplingMethod::KdTree),
+        "quadtree" => Ok(SamplingMethod::QuadTree),
+        other => Err(CliError::Usage(format!("unknown sampling method: {other}"))),
+    }
+}
+
+fn deployment_from(args: &Args, s: &Scenario) -> Result<SampledGraph, CliError> {
+    let size: f64 = args.get("size", 0.1)?;
+    if !(0.0..=1.0).contains(&size) {
+        return Err(CliError::Usage("--size must be in [0, 1]".into()));
+    }
+    let seed: u64 = args.get("seed", 2024)?;
+    let cands = s.sensing.sensor_candidates();
+    let m = ((cands.len() as f64 * size).round() as usize).clamp(3, cands.len());
+    let ids = stq_sampling::sample(method_from(args)?, &cands, m, seed ^ 0x5a);
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    let conn = match args.get::<usize>("knn", 0)? {
+        0 => Connectivity::Triangulation,
+        k => Connectivity::Knn(k),
+    };
+    Ok(SampledGraph::from_sensors(&s.sensing, &faces, conn))
+}
+
+/// Runs one command, writing human-readable output into `out`.
+pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    match args.command.as_str() {
+        "generate" => {
+            let s = scenario_from(args)?;
+            writeln!(
+                out,
+                "city: {} junctions, {} roads, {} sensors, {} gates",
+                s.sensing.road().num_junctions(),
+                s.sensing.num_edges(),
+                s.sensing.num_sensors(),
+                s.sensing.road().gate_junctions().len()
+            )?;
+            if let Some(path) = args.get_str("svg") {
+                std::fs::write(path, Scene::new(&s.sensing).to_svg())?;
+                writeln!(out, "wrote {path}")?;
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let s = scenario_from(args)?;
+            let stats = WorkloadStats::compute(s.sensing.road(), &s.trajectories);
+            writeln!(out, "objects: {}  crossings: {}", stats.objects, s.tracked.num_crossings)?;
+            writeln!(
+                out,
+                "distance: {:.0}  exited: {}  edge-load gini: {:.3}",
+                stats.total_distance,
+                stats.exited,
+                stats.edge_load_gini()
+            )?;
+            let curve = population_curve(
+                s.sensing.road(),
+                &s.trajectories,
+                9,
+                s.config.trajectory.duration,
+            );
+            write!(out, "population: ")?;
+            for (t, p) in curve {
+                write!(out, "{p}@{t:.0} ")?;
+            }
+            writeln!(out)?;
+            Ok(())
+        }
+        "deploy" => {
+            let s = scenario_from(args)?;
+            let g = deployment_from(args, &s)?;
+            let topo = AbstractTopology::build(&s.sensing, &g);
+            writeln!(
+                out,
+                "deployment: {} communication sensors ({:.1}%), {} monitored links ({:.1}%)",
+                g.sensors().len(),
+                100.0 * g.size_fraction(&s.sensing),
+                g.num_monitored_edges(),
+                100.0 * g.num_monitored_edges() as f64 / s.sensing.num_edges() as f64
+            )?;
+            writeln!(
+                out,
+                "abstract topology: {} nodes, {} chains, mean {:.1} hops/chain",
+                topo.nodes.len(),
+                topo.chains.len(),
+                topo.mean_chain_hops()
+            )?;
+            if let Some(path) = args.get_str("svg") {
+                std::fs::write(path, Scene::new(&s.sensing).with_sampled(&s.sensing, &g).to_svg())?;
+                writeln!(out, "wrote {path}")?;
+            }
+            Ok(())
+        }
+        "query" => {
+            let s = scenario_from(args)?;
+            let g = deployment_from(args, &s)?;
+            let area: f64 = args.get("area", 0.05)?;
+            let n: usize = args.get("queries", 5)?;
+            let seed: u64 = args.get("seed", 2024)?;
+            let kind_name = args.get_str("kind").unwrap_or("snapshot");
+            let learned = match args.get_str("learned") {
+                Some("linear") => Some(stq_learned::RegressorKind::Linear),
+                Some("pwl") => Some(stq_learned::RegressorKind::PiecewiseLinear(16)),
+                Some("step") => Some(stq_learned::RegressorKind::Step(16)),
+                Some(other) => {
+                    return Err(CliError::Usage(format!("unknown model: {other}")))
+                }
+                None => None,
+            };
+            let store: Box<dyn stq_forms::CountSource> = match learned {
+                Some(kind) => {
+                    Box::new(LearnedStore::fit(&s.tracked.store, Some(g.monitored()), kind))
+                }
+                None => Box::new(s.tracked.store.clone()),
+            };
+            writeln!(
+                out,
+                "{:>3} | {:>10} | {:>10} | {:>8} | {:>6}",
+                "#", "exact η", "answer η̂", "rel.err", "nodes"
+            )?;
+            for (i, (q, t0, t1)) in s.make_queries(n, area, 2_000.0, seed ^ 0x7).iter().enumerate()
+            {
+                let kind = match kind_name {
+                    "snapshot" => QueryKind::Snapshot(*t0),
+                    "static" => QueryKind::Static(*t0, *t1),
+                    "transient" => QueryKind::Transient(*t0, *t1),
+                    other => {
+                        return Err(CliError::Usage(format!("unknown query kind: {other}")))
+                    }
+                };
+                let truth = ground_truth(&s.sensing, &s.tracked.store, q, kind);
+                let est =
+                    answer(&s.sensing, &g, store.as_ref(), q, kind, Approximation::Lower);
+                let err = relative_error(truth, est.value)
+                    .map(|e| format!("{:.1}%", e * 100.0))
+                    .unwrap_or_else(|| "-".into());
+                writeln!(
+                    out,
+                    "{i:>3} | {truth:>10.1} | {:>10.1} | {err:>8} | {:>6}{}",
+                    est.value,
+                    est.nodes_accessed,
+                    if est.miss { "  MISS" } else { "" }
+                )?;
+            }
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command: {other}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_cmd(argv: &[&str]) -> String {
+        let args = Args::parse(argv.iter().map(|s| s.to_string())).unwrap();
+        let mut out = Vec::new();
+        run(&args, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn parse_flags() {
+        let a = Args::parse(["query", "--area", "0.1", "--kind", "static"].map(String::from))
+            .unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.get::<f64>("area", 0.0).unwrap(), 0.1);
+        assert_eq!(a.get_str("kind"), Some("static"));
+        assert_eq!(a.get::<usize>("missing", 9).unwrap(), 9);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Args::parse(Vec::<String>::new()).is_err());
+        assert!(Args::parse(["x", "notaflag"].map(String::from)).is_err());
+        assert!(Args::parse(["x", "--flag"].map(String::from)).is_err());
+        let a = Args::parse(["x", "--n", "abc"].map(String::from)).unwrap();
+        assert!(a.get::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn generate_reports_city() {
+        let out = run_cmd(&["generate", "--junctions", "120", "--seed", "3"]);
+        assert!(out.contains("120 junctions"));
+        assert!(out.contains("sensors"));
+    }
+
+    #[test]
+    fn simulate_reports_workload() {
+        let out = run_cmd(&[
+            "simulate",
+            "--junctions",
+            "100",
+            "--objects",
+            "12",
+            "--seed",
+            "5",
+        ]);
+        assert!(out.contains("objects: 12"));
+        assert!(out.contains("gini"));
+        assert!(out.contains("population:"));
+    }
+
+    #[test]
+    fn deploy_reports_topology() {
+        let out = run_cmd(&[
+            "deploy",
+            "--junctions",
+            "100",
+            "--objects",
+            "6",
+            "--method",
+            "uniform",
+            "--size",
+            "0.15",
+        ]);
+        assert!(out.contains("communication sensors"));
+        assert!(out.contains("abstract topology"));
+    }
+
+    #[test]
+    fn query_outputs_table() {
+        let out = run_cmd(&[
+            "query",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--kind",
+            "transient",
+            "--queries",
+            "3",
+        ]);
+        assert!(out.contains("rel.err"));
+        assert_eq!(out.lines().count(), 4); // header + 3 rows
+    }
+
+    #[test]
+    fn query_with_learned_store() {
+        let out = run_cmd(&[
+            "query",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--learned",
+            "pwl",
+            "--queries",
+            "2",
+        ]);
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn svg_written_to_disk() {
+        let dir = std::env::temp_dir().join(format!("stq-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("city.svg");
+        let out = run_cmd(&[
+            "generate",
+            "--junctions",
+            "80",
+            "--svg",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.contains("wrote"));
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_bad_method() {
+        let args = Args::parse(["frobnicate"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        let args =
+            Args::parse(["deploy", "--method", "psychic"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cmd(&["help"]);
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("deploy"));
+    }
+}

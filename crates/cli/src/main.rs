@@ -1,0 +1,18 @@
+//! The `stq` binary: see [`stq_cli::USAGE`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match stq_cli::Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = stq_cli::run(&args, &mut lock) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,165 @@
+//! Learned edge stores: regression models in place of explicit timestamp
+//! logs (paper §4.8, Fig. 9).
+
+use stq_forms::{CountSource, FormStore, Time};
+use stq_learned::{Regressor, RegressorKind};
+
+/// A [`CountSource`] backed by two constant-size regression models per
+/// monitored edge (one per direction), fitted over the edge's timestamp CDF.
+///
+/// Lookup is model inference — `O(1)` for the polynomial families — and the
+/// storage footprint is independent of how many crossings occurred, which
+/// yields the paper's ~99.96 % storage reduction (Fig. 11e).
+pub struct LearnedStore {
+    kind: RegressorKind,
+    /// Per edge: `None` when unmonitored, else the two directed models and
+    /// their event totals (predictions clamp to `[0, total]`).
+    models: Vec<Option<EdgeModels>>,
+}
+
+struct EdgeModels {
+    fwd: Box<dyn Regressor>,
+    bwd: Box<dyn Regressor>,
+    fwd_total: f64,
+    bwd_total: f64,
+}
+
+impl std::fmt::Debug for LearnedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LearnedStore")
+            .field("kind", &self.kind)
+            .field("edges", &self.models.iter().filter(|m| m.is_some()).count())
+            .finish()
+    }
+}
+
+impl LearnedStore {
+    /// Fits models of `kind` over every edge of `exact` that `monitored`
+    /// marks (or every edge when `monitored` is `None`).
+    pub fn fit(exact: &FormStore, monitored: Option<&[bool]>, kind: RegressorKind) -> Self {
+        let models = (0..exact.num_edges())
+            .map(|e| {
+                if monitored.map(|m| !m[e]).unwrap_or(false) {
+                    return None;
+                }
+                let form = exact.form(e);
+                Some(EdgeModels {
+                    fwd: kind.fit(form.timestamps(true)),
+                    bwd: kind.fit(form.timestamps(false)),
+                    fwd_total: form.total(true) as f64,
+                    bwd_total: form.total(false) as f64,
+                })
+            })
+            .collect();
+        LearnedStore { kind, models }
+    }
+
+    /// The model family in use.
+    pub fn kind(&self) -> RegressorKind {
+        self.kind
+    }
+
+    /// Number of modelled edges.
+    pub fn num_modelled(&self) -> usize {
+        self.models.iter().filter(|m| m.is_some()).count()
+    }
+}
+
+impl CountSource for LearnedStore {
+    fn count_until(&self, edge: usize, forward: bool, t: Time) -> f64 {
+        match &self.models[edge] {
+            Some(m) => {
+                if forward {
+                    m.fwd.predict(t).clamp(0.0, m.fwd_total)
+                } else {
+                    m.bwd.predict(t).clamp(0.0, m.bwd_total)
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.models
+            .iter()
+            .flatten()
+            // Two models + two u32-ish totals per edge.
+            .map(|m| m.fwd.size_bytes() + m.bwd.size_bytes() + 8)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_forms::{snapshot_count, BoundaryEdge};
+
+    fn filled_store() -> FormStore {
+        let mut s = FormStore::new(4);
+        // Edge 0: steady inflow; edge 1: outflow; edges 2-3 sparse.
+        let mut t = 0.0;
+        for i in 0..300 {
+            t += 1.0 + 0.3 * ((i as f64) * 0.05).sin();
+            s.record(0, true, t);
+            if i % 3 == 0 {
+                s.record(1, false, t);
+            }
+        }
+        s.record(2, true, 10.0);
+        s
+    }
+
+    #[test]
+    fn learned_counts_track_exact() {
+        let exact = filled_store();
+        for kind in RegressorKind::standard_set() {
+            let learned = LearnedStore::fit(&exact, None, kind);
+            for &t in &[50.0, 150.0, 320.0] {
+                let e = exact.count_until(0, true, t);
+                let l = learned.count_until(0, true, t);
+                assert!(
+                    (e - l).abs() <= 12.0,
+                    "{kind:?} at t={t}: exact {e} learned {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storage_reduction_is_dramatic() {
+        let exact = filled_store();
+        let learned = LearnedStore::fit(&exact, None, RegressorKind::Linear);
+        assert!(learned.storage_bytes() * 5 < exact.storage_bytes());
+    }
+
+    #[test]
+    fn unmonitored_edges_skipped() {
+        let exact = filled_store();
+        let monitored = vec![true, false, true, false];
+        let learned = LearnedStore::fit(&exact, Some(&monitored), RegressorKind::Linear);
+        assert_eq!(learned.num_modelled(), 2);
+        assert_eq!(learned.count_until(1, false, 1e9), 0.0);
+        assert!(learned.count_until(0, true, 1e9) > 0.0);
+    }
+
+    #[test]
+    fn clamped_to_totals() {
+        let exact = filled_store();
+        for kind in RegressorKind::standard_set() {
+            let learned = LearnedStore::fit(&exact, None, kind);
+            assert!(learned.count_until(0, true, 1e12) <= 300.0);
+            assert!(learned.count_until(0, true, -1e12) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn boundary_integration_with_learned_store() {
+        let exact = filled_store();
+        let learned = LearnedStore::fit(&exact, None, RegressorKind::PiecewiseLinear(8));
+        let boundary = [BoundaryEdge::new(0, true), BoundaryEdge::new(1, true)];
+        let t = 200.0;
+        let e = snapshot_count(&exact, &boundary, t);
+        let l = snapshot_count(&learned, &boundary, t);
+        assert!((e - l).abs() <= 10.0, "exact {e} learned {l}");
+    }
+}

@@ -1,0 +1,202 @@
+//! Tracking forms: per-edge directed crossing logs (paper Eqs. 7–8).
+
+use crate::{EdgeIdx, Time};
+
+/// The two timestamp sequences of one edge's tracking form.
+///
+/// `fwd` logs traversals in the edge's construction direction (tail → head),
+/// `bwd` the opposite. Both are monotone non-decreasing: events arrive in
+/// time order per edge, matching a physical sensor appending to its log
+/// (`γ_t = γ_{t−1} ⊕ t`, Eq. 8).
+#[derive(Clone, Debug, Default)]
+pub struct TrackingForm {
+    fwd: Vec<Time>,
+    bwd: Vec<Time>,
+}
+
+impl TrackingForm {
+    /// Creates an empty form.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a crossing at time `t` in the given direction.
+    ///
+    /// # Panics
+    /// If `t` is not finite or precedes the last recorded event in the same
+    /// direction (sensors observe time monotonically).
+    pub fn record(&mut self, forward: bool, t: Time) {
+        assert!(t.is_finite(), "crossing time must be finite");
+        let seq = if forward { &mut self.fwd } else { &mut self.bwd };
+        if let Some(&last) = seq.last() {
+            assert!(t >= last, "crossing times must be monotone per direction ({t} < {last})");
+        }
+        seq.push(t);
+    }
+
+    /// Events with `time ≤ t` in a direction — the paper's `C(γ_t(e), t)`.
+    pub fn count_until(&self, forward: bool, t: Time) -> usize {
+        let seq = if forward { &self.fwd } else { &self.bwd };
+        seq.partition_point(|&x| x <= t)
+    }
+
+    /// Events in the half-open window `(t0, t1]` — `C(γ, t0, t1)` (§4.7.4).
+    pub fn count_between(&self, forward: bool, t0: Time, t1: Time) -> usize {
+        self.count_until(forward, t1).saturating_sub(self.count_until(forward, t0))
+    }
+
+    /// Total events in a direction.
+    pub fn total(&self, forward: bool) -> usize {
+        if forward {
+            self.fwd.len()
+        } else {
+            self.bwd.len()
+        }
+    }
+
+    /// The raw timestamp sequence (for model fitting in `stq-learned`).
+    pub fn timestamps(&self, forward: bool) -> &[Time] {
+        if forward {
+            &self.fwd
+        } else {
+            &self.bwd
+        }
+    }
+
+    /// Bytes needed to store the explicit sequences (8 bytes per timestamp)
+    /// — the storage baseline the regression models are compared against
+    /// (paper Fig. 11e).
+    pub fn storage_bytes(&self) -> usize {
+        (self.fwd.len() + self.bwd.len()) * std::mem::size_of::<Time>()
+    }
+}
+
+/// Anything that can answer directed cumulative crossing counts per edge.
+///
+/// Implemented by the exact [`FormStore`] and by the regression-model store
+/// in `stq-learned`; the query evaluators in [`crate::query`] are generic
+/// over this trait, so exact and learned answers share one code path.
+pub trait CountSource {
+    /// Estimated number of events with `time ≤ t` on `edge` in `direction`.
+    /// Fractional values are allowed (model inference).
+    fn count_until(&self, edge: EdgeIdx, forward: bool, t: Time) -> f64;
+
+    /// Estimated events in `(t0, t1]`.
+    fn count_between(&self, edge: EdgeIdx, forward: bool, t0: Time, t1: Time) -> f64 {
+        self.count_until(edge, forward, t1) - self.count_until(edge, forward, t0)
+    }
+
+    /// Total storage footprint in bytes.
+    fn storage_bytes(&self) -> usize;
+}
+
+/// The exact store: one [`TrackingForm`] per edge.
+#[derive(Clone, Debug)]
+pub struct FormStore {
+    forms: Vec<TrackingForm>,
+}
+
+impl FormStore {
+    /// Creates a store for `num_edges` edges, all empty.
+    pub fn new(num_edges: usize) -> Self {
+        FormStore { forms: vec![TrackingForm::new(); num_edges] }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.forms.len()
+    }
+
+    /// Records a crossing of `edge` in the given direction at time `t`.
+    pub fn record(&mut self, edge: EdgeIdx, forward: bool, t: Time) {
+        self.forms[edge].record(forward, t);
+    }
+
+    /// Access to one edge's form.
+    pub fn form(&self, edge: EdgeIdx) -> &TrackingForm {
+        &self.forms[edge]
+    }
+
+    /// Total number of recorded events across all edges and directions.
+    pub fn total_events(&self) -> usize {
+        self.forms.iter().map(|f| f.total(true) + f.total(false)).sum()
+    }
+}
+
+impl CountSource for FormStore {
+    fn count_until(&self, edge: EdgeIdx, forward: bool, t: Time) -> f64 {
+        self.forms[edge].count_until(forward, t) as f64
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.forms.iter().map(|f| f.storage_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut f = TrackingForm::new();
+        f.record(true, 1.0);
+        f.record(true, 2.0);
+        f.record(true, 2.0); // equal times allowed
+        f.record(false, 1.5);
+        assert_eq!(f.count_until(true, 0.5), 0);
+        assert_eq!(f.count_until(true, 1.0), 1);
+        assert_eq!(f.count_until(true, 2.0), 3);
+        assert_eq!(f.count_until(true, 99.0), 3);
+        assert_eq!(f.count_until(false, 1.5), 1);
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let mut f = TrackingForm::new();
+        for t in [1.0, 2.0, 3.0] {
+            f.record(true, t);
+        }
+        assert_eq!(f.count_between(true, 1.0, 3.0), 2); // excludes t=1, includes t=3
+        assert_eq!(f.count_between(true, 0.0, 1.0), 1);
+        assert_eq!(f.count_between(true, 3.0, 10.0), 0);
+        assert_eq!(f.count_between(true, 5.0, 4.0), 0); // inverted window
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_rejected() {
+        let mut f = TrackingForm::new();
+        f.record(true, 2.0);
+        f.record(true, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let mut f = TrackingForm::new();
+        f.record(true, f64::NAN);
+    }
+
+    #[test]
+    fn directions_independent() {
+        let mut f = TrackingForm::new();
+        f.record(true, 5.0);
+        f.record(false, 1.0); // earlier than fwd's last: fine, separate log
+        assert_eq!(f.total(true), 1);
+        assert_eq!(f.total(false), 1);
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = FormStore::new(3);
+        s.record(0, true, 1.0);
+        s.record(2, false, 4.0);
+        s.record(2, false, 5.0);
+        assert_eq!(s.count_until(0, true, 2.0), 1.0);
+        assert_eq!(s.count_until(2, false, 4.5), 1.0);
+        assert_eq!(s.count_between(2, false, 4.0, 5.0), 1.0);
+        assert_eq!(s.total_events(), 3);
+        assert_eq!(s.storage_bytes(), 3 * 8);
+    }
+}

@@ -1,0 +1,272 @@
+//! Delaunay triangulation (Bowyer–Watson incremental insertion).
+//!
+//! The paper connects sampled sensor nodes "either with a triangulation-based
+//! or k-NN-based algorithm" (§4.5). This module provides the triangulation
+//! half from scratch: a classic Bowyer–Watson construction over a
+//! super-triangle, yielding the edge set used by `stq-core` to build sampled
+//! sensing graphs.
+
+use crate::point::Point;
+use crate::predicates::{cross3, in_circle};
+
+/// A triangle referencing vertices of a [`Triangulation`] by index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Triangle(pub usize, pub usize, pub usize);
+
+impl Triangle {
+    fn edges(&self) -> [(usize, usize); 3] {
+        [(self.0, self.1), (self.1, self.2), (self.2, self.0)]
+    }
+
+    /// Vertex indices as an array.
+    pub fn vertices(&self) -> [usize; 3] {
+        [self.0, self.1, self.2]
+    }
+}
+
+/// A Delaunay triangulation of a point set.
+#[derive(Clone, Debug)]
+pub struct Triangulation {
+    /// The input points (indices in [`Triangulation::triangles`] refer here).
+    pub points: Vec<Point>,
+    /// Triangles with counter-clockwise vertex order.
+    pub triangles: Vec<Triangle>,
+}
+
+impl Triangulation {
+    /// The undirected edge set `(i, j)` with `i < j`, deduplicated and sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut es: Vec<(usize, usize)> = Vec::with_capacity(self.triangles.len() * 3);
+        for t in &self.triangles {
+            for (a, b) in t.edges() {
+                es.push(if a < b { (a, b) } else { (b, a) });
+            }
+        }
+        es.sort_unstable();
+        es.dedup();
+        es
+    }
+
+    /// Checks the empty-circumcircle property for every triangle against
+    /// every input point. O(T·N) — intended for tests on small inputs.
+    pub fn is_delaunay(&self) -> bool {
+        for t in &self.triangles {
+            let (a, b, c) = (self.points[t.0], self.points[t.1], self.points[t.2]);
+            for (i, &p) in self.points.iter().enumerate() {
+                if i == t.0 || i == t.1 || i == t.2 {
+                    continue;
+                }
+                if in_circle(a, b, c, p) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Computes the Delaunay triangulation of `points`.
+///
+/// Duplicate points (within `1e-12`) are skipped during insertion; their
+/// indices simply do not appear in any triangle. Inputs with fewer than 3
+/// non-collinear points yield an empty triangle list.
+pub fn triangulate(points: &[Point]) -> Triangulation {
+    let n = points.len();
+    let mut tri = Triangulation { points: points.to_vec(), triangles: Vec::new() };
+    if n < 3 {
+        return tri;
+    }
+
+    // Super-triangle comfortably containing all points.
+    let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &p in points {
+        min = Point::new(min.x.min(p.x), min.y.min(p.y));
+        max = Point::new(max.x.max(p.x), max.y.max(p.y));
+    }
+    let d = (max.x - min.x).max(max.y - min.y).max(1.0);
+    let mid = min.midpoint(max);
+    let s0 = Point::new(mid.x - 20.0 * d, mid.y - 10.0 * d);
+    let s1 = Point::new(mid.x + 20.0 * d, mid.y - 10.0 * d);
+    let s2 = Point::new(mid.x, mid.y + 20.0 * d);
+
+    // Working vertex array: input points then the 3 super vertices.
+    let mut verts = points.to_vec();
+    let sv = verts.len();
+    verts.push(s0);
+    verts.push(s1);
+    verts.push(s2);
+
+    let mut tris: Vec<Triangle> = vec![Triangle(sv, sv + 1, sv + 2)];
+
+    for pi in 0..n {
+        let p = verts[pi];
+        // Skip (near-)duplicates of already-inserted points.
+        if points[..pi].iter().any(|q| q.dist2(p) < 1e-24) {
+            continue;
+        }
+
+        // Find all triangles whose circumcircle contains p.
+        let mut bad: Vec<usize> = Vec::new();
+        for (ti, t) in tris.iter().enumerate() {
+            let (a, b, c) = (verts[t.0], verts[t.1], verts[t.2]);
+            if in_circle(a, b, c, p) {
+                bad.push(ti);
+            }
+        }
+        if bad.is_empty() {
+            // Numerically possible when p duplicates a vertex or sits exactly
+            // on a circumcircle; fall back to locating the containing
+            // triangle so insertion still happens.
+            for (ti, t) in tris.iter().enumerate() {
+                let (a, b, c) = (verts[t.0], verts[t.1], verts[t.2]);
+                if cross3(a, b, p) >= -1e-12 && cross3(b, c, p) >= -1e-12 && cross3(c, a, p) >= -1e-12
+                {
+                    bad.push(ti);
+                    break;
+                }
+            }
+            if bad.is_empty() {
+                continue;
+            }
+        }
+
+        // Polygonal hole boundary = edges appearing in exactly one bad triangle.
+        let mut boundary: Vec<(usize, usize)> = Vec::new();
+        for &ti in &bad {
+            for e in tris[ti].edges() {
+                // An edge is internal iff its reverse appears among bad-triangle edges.
+                let mut shared = false;
+                for &tj in &bad {
+                    if tj == ti {
+                        continue;
+                    }
+                    if tris[tj].edges().iter().any(|&(x, y)| (x, y) == (e.1, e.0)) {
+                        shared = true;
+                        break;
+                    }
+                }
+                if !shared {
+                    boundary.push(e);
+                }
+            }
+        }
+
+        // Remove bad triangles (descending index order to keep indices valid).
+        bad.sort_unstable_by(|a, b| b.cmp(a));
+        for ti in bad {
+            tris.swap_remove(ti);
+        }
+
+        // Re-triangulate the hole.
+        for (a, b) in boundary {
+            // Keep CCW orientation.
+            if cross3(verts[a], verts[b], p) > 0.0 {
+                tris.push(Triangle(a, b, pi));
+            } else {
+                tris.push(Triangle(b, a, pi));
+            }
+        }
+    }
+
+    // Drop every triangle touching a super vertex.
+    tri.triangles = tris.into_iter().filter(|t| t.0 < sv && t.1 < sv && t.2 < sv).collect();
+    tri
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_points(n: usize, seed: u64, scale: f64) -> Vec<Point> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * scale, next() * scale)).collect()
+    }
+
+    #[test]
+    fn single_triangle() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+        let t = triangulate(&pts);
+        assert_eq!(t.triangles.len(), 1);
+        assert!(t.is_delaunay());
+    }
+
+    #[test]
+    fn square_two_triangles() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.01), // slight skew avoids the co-circular tie
+            Point::new(0.0, 1.0),
+        ];
+        let t = triangulate(&pts);
+        assert_eq!(t.triangles.len(), 2);
+        assert!(t.is_delaunay());
+        assert_eq!(t.edges().len(), 5);
+    }
+
+    #[test]
+    fn random_cloud_is_delaunay() {
+        let pts = pseudo_random_points(60, 7, 100.0);
+        let t = triangulate(&pts);
+        assert!(!t.triangles.is_empty());
+        assert!(t.is_delaunay());
+    }
+
+    #[test]
+    fn euler_formula_holds() {
+        // For a triangulation of a point set: V - E + F = 2, where F counts
+        // the outer face too.
+        let pts = pseudo_random_points(80, 99, 50.0);
+        let t = triangulate(&pts);
+        let v = pts.len();
+        let e = t.edges().len();
+        let f = t.triangles.len() + 1;
+        assert_eq!(v as i64 - e as i64 + f as i64, 2);
+    }
+
+    #[test]
+    fn triangles_are_ccw() {
+        let pts = pseudo_random_points(40, 3, 10.0);
+        let t = triangulate(&pts);
+        for tr in &t.triangles {
+            assert!(cross3(t.points[tr.0], t.points[tr.1], t.points[tr.2]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicates_tolerated() {
+        let mut pts = pseudo_random_points(20, 5, 10.0);
+        let dup = pts[3];
+        pts.push(dup);
+        pts.push(dup);
+        let t = triangulate(&pts);
+        assert!(t.is_delaunay());
+        // The duplicate index must not appear in any triangle.
+        for tr in &t.triangles {
+            assert!(tr.0 != 21 && tr.1 != 21 && tr.2 != 21);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(triangulate(&[]).triangles.is_empty());
+        assert!(triangulate(&[Point::ORIGIN]).triangles.is_empty());
+        assert!(triangulate(&[Point::ORIGIN, Point::new(1.0, 0.0)]).triangles.is_empty());
+        // All collinear.
+        let line: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 2.0 * i as f64)).collect();
+        assert!(triangulate(&line).triangles.is_empty());
+    }
+
+    #[test]
+    fn edge_count_matches_euler_bound() {
+        // Planar graph: E <= 3V - 6.
+        let pts = pseudo_random_points(100, 11, 1000.0);
+        let t = triangulate(&pts);
+        assert!(t.edges().len() <= 3 * pts.len() - 6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Convex hulls (Andrew's monotone chain).
+
+use crate::point::Point;
+use crate::predicates::cross3;
+
+/// Computes the convex hull of a point set.
+///
+/// Returns the hull vertices in counter-clockwise order without repeating the
+/// first point. Collinear points on hull edges are dropped. Degenerate inputs
+/// (fewer than 3 distinct points, or all collinear) return what remains of
+/// the chain — possibly fewer than 3 points.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap().then(a.y.partial_cmp(&b.y).unwrap()));
+    pts.dedup_by(|a, b| a.dist2(*b) < 1e-24);
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 && cross3(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len && cross3(hull[hull.len() - 2], hull[hull.len() - 1], p) <= 0.0 {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the final point equals the first
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hull_of_square_with_interior() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0), // interior
+            Point::new(1.0, 2.0), // interior
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        // CCW: shoelace positive.
+        let mut s = 0.0;
+        for i in 0..h.len() {
+            s += h[i].cross(h[(i + 1) % h.len()]);
+        }
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn collinear_points_dropped() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 4);
+        assert!(!h.contains(&Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        assert_eq!(convex_hull(&[Point::new(1.0, 1.0)]).len(), 1);
+        let line = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0)];
+        let h = convex_hull(&line);
+        assert!(h.len() <= 2);
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(1.0, 0.0),
+        ];
+        let h = convex_hull(&pts);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        use crate::polygon::Polygon;
+        let mut pts = Vec::new();
+        // Deterministic pseudo-random cloud.
+        let mut state = 42u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let x = ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let y = ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
+            pts.push(Point::new(x, y));
+        }
+        let h = convex_hull(&pts);
+        assert!(h.len() >= 3);
+        let poly = Polygon::new(h);
+        for &p in &pts {
+            assert!(poly.contains(p), "hull must contain {p}");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Simple polygons: signed area, centroid, containment.
+//!
+//! Faces of the planar graphs are materialized as polygons for sampling,
+//! strata assignment and query-region generation.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPS;
+
+/// A simple polygon given by its vertex loop (implicitly closed; do not
+/// repeat the first vertex at the end).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+/// Where a point lies relative to a polygon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Containment {
+    /// Strictly inside the polygon.
+    Inside,
+    /// On (or numerically on) an edge or vertex.
+    OnBoundary,
+    /// Strictly outside.
+    Outside,
+}
+
+impl Polygon {
+    /// Creates a polygon from a vertex loop. At least 3 vertices required.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// The vertex loop.
+    #[inline]
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always false (constructor enforces ≥ 3 vertices); present for clippy's
+    /// `len_without_is_empty` convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Signed area by the shoelace formula: positive for counter-clockwise
+    /// vertex order (the convention the paper adopts for faces, §3.4).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut s = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            s += p.cross(q);
+        }
+        s * 0.5
+    }
+
+    /// Absolute area.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// True when the vertex loop is counter-clockwise.
+    #[inline]
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Area centroid. Falls back to the vertex mean for (near-)degenerate
+    /// polygons whose area vanishes.
+    pub fn centroid(&self) -> Point {
+        let n = self.vertices.len();
+        let a = self.signed_area();
+        if a.abs() < EPS {
+            let mut sum = Point::ORIGIN;
+            for &v in &self.vertices {
+                sum = sum + v;
+            }
+            return sum / n as f64;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..n {
+            let p = self.vertices[i];
+            let q = self.vertices[(i + 1) % n];
+            let w = p.cross(q);
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Perimeter length.
+    pub fn perimeter(&self) -> f64 {
+        let n = self.vertices.len();
+        (0..n).map(|i| self.vertices[i].dist(self.vertices[(i + 1) % n])).sum()
+    }
+
+    /// Axis-aligned bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::bounding(&self.vertices).expect("polygon has vertices")
+    }
+
+    /// Point-in-polygon by the even-odd ray crossing rule, with an explicit
+    /// boundary check first.
+    pub fn locate(&self, p: Point) -> Containment {
+        let n = self.vertices.len();
+        // Boundary test.
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            let seg = crate::segment::Segment::new(a, b);
+            if seg.dist_to_point(p) <= EPS {
+                return Containment::OnBoundary;
+            }
+        }
+        // Ray casting to +x.
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[j];
+            if (a.y > p.y) != (b.y > p.y) {
+                let x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+                if p.x < x_at {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        if inside {
+            Containment::Inside
+        } else {
+            Containment::Outside
+        }
+    }
+
+    /// Closed containment: inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.locate(p) != Containment::Outside
+    }
+
+    /// A point guaranteed to be strictly inside the polygon (used to place
+    /// dual/sensor vertices inside irregular faces where the centroid may
+    /// fall outside). Implemented by scanning the horizontal line through the
+    /// bbox midheight and taking the midpoint of the widest inside-interval;
+    /// falls back to the centroid.
+    pub fn interior_point(&self) -> Point {
+        let c = self.centroid();
+        if self.locate(c) == Containment::Inside {
+            return c;
+        }
+        let bb = self.bbox();
+        // Try a few scanlines around the middle.
+        for k in 0..16 {
+            let frac = 0.5 + (k as f64 - 7.5) / 32.0;
+            let y = bb.min.y + bb.height() * frac;
+            let mut xs: Vec<f64> = Vec::new();
+            let n = self.vertices.len();
+            for i in 0..n {
+                let a = self.vertices[i];
+                let b = self.vertices[(i + 1) % n];
+                if (a.y > y) != (b.y > y) {
+                    xs.push(a.x + (y - a.y) / (b.y - a.y) * (b.x - a.x));
+                }
+            }
+            xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+            let mut best: Option<(f64, f64)> = None; // (width, mid)
+            for pair in xs.chunks(2) {
+                if let [x0, x1] = pair {
+                    let w = x1 - x0;
+                    if best.map(|(bw, _)| w > bw).unwrap_or(true) && w > EPS {
+                        best = Some((w, (x0 + x1) * 0.5));
+                    }
+                }
+            }
+            if let Some((_, mid)) = best {
+                let p = Point::new(mid, y);
+                if self.locate(p) == Containment::Inside {
+                    return p;
+                }
+            }
+        }
+        c
+    }
+
+    /// Returns the polygon with reversed orientation.
+    pub fn reversed(&self) -> Polygon {
+        let mut v = self.vertices.clone();
+        v.reverse();
+        Polygon::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn area_and_orientation() {
+        let p = square();
+        assert_eq!(p.signed_area(), 4.0);
+        assert!(p.is_ccw());
+        let r = p.reversed();
+        assert_eq!(r.signed_area(), -4.0);
+        assert!(!r.is_ccw());
+        assert_eq!(r.area(), 4.0);
+    }
+
+    #[test]
+    fn centroid_square() {
+        assert_eq!(square().centroid(), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn centroid_triangle() {
+        let t = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(0.0, 3.0)]);
+        let c = t.centroid();
+        assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn containment_cases() {
+        let p = square();
+        assert_eq!(p.locate(Point::new(1.0, 1.0)), Containment::Inside);
+        assert_eq!(p.locate(Point::new(3.0, 1.0)), Containment::Outside);
+        assert_eq!(p.locate(Point::new(0.0, 1.0)), Containment::OnBoundary);
+        assert_eq!(p.locate(Point::new(2.0, 2.0)), Containment::OnBoundary);
+    }
+
+    #[test]
+    fn concave_containment() {
+        // An L-shape; the notch must be outside.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 3.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert_eq!(l.locate(Point::new(0.5, 2.0)), Containment::Inside);
+        assert_eq!(l.locate(Point::new(2.0, 2.0)), Containment::Outside);
+        assert_eq!(l.locate(Point::new(2.0, 0.5)), Containment::Inside);
+    }
+
+    #[test]
+    fn interior_point_in_concave() {
+        // A crescent-like concave polygon whose centroid is outside.
+        let c = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(0.0, 3.5),
+            Point::new(3.5, 3.5),
+            Point::new(3.5, 0.5),
+            Point::new(0.0, 0.5),
+        ]);
+        let ip = c.interior_point();
+        assert_eq!(c.locate(ip), Containment::Inside);
+    }
+
+    #[test]
+    fn perimeter_and_bbox() {
+        let p = square();
+        assert_eq!(p.perimeter(), 8.0);
+        let bb = p.bbox();
+        assert_eq!(bb.min, Point::new(0.0, 0.0));
+        assert_eq!(bb.max, Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_vertices_panics() {
+        let _ = Polygon::new(vec![Point::ORIGIN, Point::new(1.0, 0.0)]);
+    }
+}

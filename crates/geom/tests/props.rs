@@ -1,0 +1,142 @@
+//! Property tests for the geometry kernel.
+
+use proptest::prelude::*;
+use stq_geom::{
+    convex_hull, segment_intersection, triangulate, Point, Polygon, Rect, Segment,
+    SegmentIntersection,
+};
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn points(n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(pt(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hull_contains_all_points(pts in points(3..40)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            let poly = Polygon::new(h.clone());
+            prop_assert!(poly.is_ccw());
+            for &p in &pts {
+                prop_assert!(poly.contains(p), "{p} escaped its hull");
+            }
+        }
+    }
+
+    #[test]
+    fn hull_is_convex(pts in points(3..40)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            // Every consecutive triple turns left (or is collinear-free by
+            // construction).
+            for i in 0..h.len() {
+                let a = h[i];
+                let b = h[(i + 1) % h.len()];
+                let c = h[(i + 2) % h.len()];
+                prop_assert!((b - a).cross(c - b) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_intersection_symmetric(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        let r12 = segment_intersection(&s1, &s2);
+        let r21 = segment_intersection(&s2, &s1);
+        // Existence must agree; point locations must match.
+        match (r12, r21) {
+            (SegmentIntersection::None, SegmentIntersection::None) => {}
+            (SegmentIntersection::Point { p: p1, .. }, SegmentIntersection::Point { p: p2, .. }) => {
+                prop_assert!(p1.dist(p2) < 1e-6, "{p1} vs {p2}");
+            }
+            (SegmentIntersection::Overlap { .. }, SegmentIntersection::Overlap { .. }) => {}
+            (x, y) => prop_assert!(false, "asymmetric: {x:?} vs {y:?}"),
+        }
+    }
+
+    #[test]
+    fn intersection_point_lies_on_both(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let s1 = Segment::new(a, b);
+        let s2 = Segment::new(c, d);
+        if let SegmentIntersection::Point { p, .. } = segment_intersection(&s1, &s2) {
+            prop_assert!(s1.dist_to_point(p) < 1e-6);
+            prop_assert!(s2.dist_to_point(p) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn polygon_reverse_flips_area(pts in points(3..12)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            let poly = Polygon::new(h);
+            let rev = poly.reversed();
+            prop_assert!((poly.signed_area() + rev.signed_area()).abs() < 1e-9);
+            prop_assert!((poly.area() - rev.area()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn polygon_centroid_inside_bbox(pts in points(3..12)) {
+        let h = convex_hull(&pts);
+        if h.len() >= 3 {
+            let poly = Polygon::new(h);
+            prop_assert!(poly.bbox().inflated(1e-9).contains(poly.centroid()));
+        }
+    }
+
+    #[test]
+    fn rect_algebra(a in pt(), b in pt(), c in pt(), d in pt(), probe in pt()) {
+        let r1 = Rect::from_corners(a, b);
+        let r2 = Rect::from_corners(c, d);
+        let inter = r1.intersection(&r2);
+        let union = r1.union(&r2);
+        // Containment laws.
+        prop_assert_eq!(
+            inter.contains(probe),
+            r1.contains(probe) && r2.contains(probe)
+        );
+        if r1.contains(probe) || r2.contains(probe) {
+            prop_assert!(union.contains(probe));
+        }
+        // Area monotonicity.
+        prop_assert!(union.area() + 1e-9 >= r1.area().max(r2.area()));
+        prop_assert!(inter.area() <= r1.area().min(r2.area()) + 1e-9);
+    }
+
+    #[test]
+    fn delaunay_invariants(pts in points(3..30)) {
+        let t = triangulate(&pts);
+        prop_assert!(t.is_delaunay());
+        // Planarity bound on edges.
+        if pts.len() >= 3 {
+            prop_assert!(t.edges().len() <= 3 * pts.len());
+        }
+        // All triangle indices valid.
+        for tr in &t.triangles {
+            for v in tr.vertices() {
+                prop_assert!(v < pts.len());
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_nearest(a in pt(), b in pt(), p in pt()) {
+        let s = Segment::new(a, b);
+        let proj = s.project(p);
+        // The projection beats both endpoints and a few interior samples.
+        let d = p.dist(proj);
+        prop_assert!(d <= p.dist(a) + 1e-9);
+        prop_assert!(d <= p.dist(b) + 1e-9);
+        for k in 1..8 {
+            let q = s.at(k as f64 / 8.0);
+            prop_assert!(d <= p.dist(q) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! # stq-learned
+//!
+//! Constant-size regression models over crossing-timestamp CDFs (paper §4.8).
+//!
+//! A tracking form's timestamp sequence is monotone, so the cumulative count
+//! of events up to time `t` is a CDF the paper models with "popular
+//! regressors" (Fig. 9) instead of storing the sequence:
+//!
+//! - [`RegressorKind::Linear`] — ordinary least squares line,
+//! - [`RegressorKind::Quadratic`] / [`RegressorKind::Cubic`] — polynomial
+//!   least squares (normal equations on normalized time),
+//! - [`RegressorKind::PiecewiseLinear`] — equal-frequency knots,
+//! - [`RegressorKind::Step`] — equi-width cumulative histogram.
+//!
+//! Lookup is `O(1)`/`O(log k)` and the per-edge footprint is independent of
+//! the event count, which is where the paper's 99.96 % storage reduction
+//! comes from. [`BufferedSeries`] adds the paper's limited-size update
+//! buffer: events stream into a buffer of capacity `n`; on overflow a new
+//! model is fitted and the buffer flushed, so queries always see model +
+//! buffer (up to `2n` recent events exactly).
+
+use std::fmt;
+
+/// Cumulative-count predictor fitted to one timestamp sequence.
+pub trait Regressor: fmt::Debug + Send + Sync {
+    /// Predicted number of events with `time ≤ t`.
+    fn predict(&self, t: f64) -> f64;
+    /// Serialized parameter size in bytes (used for storage accounting).
+    fn size_bytes(&self) -> usize;
+}
+
+/// Model families available for edge stores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RegressorKind {
+    /// OLS straight line.
+    Linear,
+    /// Degree-2 polynomial.
+    Quadratic,
+    /// Degree-3 polynomial.
+    Cubic,
+    /// Piecewise-linear CDF with this many segments.
+    PiecewiseLinear(usize),
+    /// Equi-width cumulative histogram with this many bins.
+    Step(usize),
+}
+
+impl RegressorKind {
+    /// The model set the experiment harness sweeps (Fig. 14c,d).
+    pub fn standard_set() -> Vec<RegressorKind> {
+        vec![
+            RegressorKind::Linear,
+            RegressorKind::Quadratic,
+            RegressorKind::Cubic,
+            RegressorKind::PiecewiseLinear(8),
+            RegressorKind::Step(16),
+        ]
+    }
+
+    /// Harness label.
+    pub fn label(&self) -> String {
+        match self {
+            RegressorKind::Linear => "linear".into(),
+            RegressorKind::Quadratic => "quadratic".into(),
+            RegressorKind::Cubic => "cubic".into(),
+            RegressorKind::PiecewiseLinear(k) => format!("pwl-{k}"),
+            RegressorKind::Step(b) => format!("step-{b}"),
+        }
+    }
+
+    /// Fits a model of this kind to a *sorted* timestamp sequence. The
+    /// fitted CDF maps `t → #events ≤ t`; predictions clamp to `[0, n]`.
+    pub fn fit(&self, timestamps: &[f64]) -> Box<dyn Regressor> {
+        debug_assert!(timestamps.windows(2).all(|w| w[0] <= w[1]), "timestamps must be sorted");
+        let n = timestamps.len();
+        if n == 0 {
+            return Box::new(EmptyModel);
+        }
+        let t0 = timestamps[0];
+        let t1 = timestamps[n - 1];
+        if t1 - t0 < 1e-12 {
+            // All events at one instant: a pure step.
+            return Box::new(SingleStep { at: t0, count: n as f64 });
+        }
+        match *self {
+            RegressorKind::Linear => Box::new(PolyModel::fit(timestamps, 1)),
+            RegressorKind::Quadratic => Box::new(PolyModel::fit(timestamps, 2)),
+            RegressorKind::Cubic => Box::new(PolyModel::fit(timestamps, 3)),
+            RegressorKind::PiecewiseLinear(k) => Box::new(PwlModel::fit(timestamps, k.max(1))),
+            RegressorKind::Step(b) => Box::new(StepModel::fit(timestamps, b.max(1))),
+        }
+    }
+}
+
+/// Model for an empty sequence.
+#[derive(Debug)]
+struct EmptyModel;
+
+impl Regressor for EmptyModel {
+    fn predict(&self, _t: f64) -> f64 {
+        0.0
+    }
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// All events at a single instant.
+#[derive(Debug)]
+struct SingleStep {
+    at: f64,
+    count: f64,
+}
+
+impl Regressor for SingleStep {
+    fn predict(&self, t: f64) -> f64 {
+        if t >= self.at {
+            self.count
+        } else {
+            0.0
+        }
+    }
+    fn size_bytes(&self) -> usize {
+        16
+    }
+}
+
+/// Least-squares polynomial over normalized time.
+#[derive(Debug)]
+struct PolyModel {
+    /// Coefficients, constant term first.
+    coeffs: Vec<f64>,
+    t_min: f64,
+    t_scale: f64,
+    n: f64,
+    t_max: f64,
+}
+
+impl PolyModel {
+    fn fit(ts: &[f64], degree: usize) -> Self {
+        let n = ts.len();
+        let t_min = ts[0];
+        let t_scale = (ts[n - 1] - t_min).max(1e-12);
+        let d = degree.min(n - 1).max(1);
+        // Normal equations A^T A x = A^T y with x_i = normalized time powers.
+        let k = d + 1;
+        let mut ata = vec![vec![0.0f64; k]; k];
+        let mut aty = vec![0.0f64; k];
+        for (i, &t) in ts.iter().enumerate() {
+            let x = (t - t_min) / t_scale;
+            let y = (i + 1) as f64;
+            let mut pow = vec![1.0; k];
+            for p in 1..k {
+                pow[p] = pow[p - 1] * x;
+            }
+            for r in 0..k {
+                for c in 0..k {
+                    ata[r][c] += pow[r] * pow[c];
+                }
+                aty[r] += pow[r] * y;
+            }
+        }
+        let coeffs = solve_gauss(ata, aty);
+        PolyModel { coeffs, t_min, t_scale, n: n as f64, t_max: ts[n - 1] }
+    }
+}
+
+impl Regressor for PolyModel {
+    fn predict(&self, t: f64) -> f64 {
+        if t < self.t_min {
+            return 0.0;
+        }
+        // Beyond the fitted range the CDF is flat at n.
+        let x = ((t - self.t_min) / self.t_scale).min((self.t_max - self.t_min) / self.t_scale);
+        let mut acc = 0.0;
+        let mut pow = 1.0;
+        for &c in &self.coeffs {
+            acc += c * pow;
+            pow *= x;
+        }
+        acc.clamp(0.0, self.n)
+    }
+
+    fn size_bytes(&self) -> usize {
+        // coefficients + t_min + t_scale + n + t_max
+        (self.coeffs.len() + 4) * 8
+    }
+}
+
+/// Gaussian elimination with partial pivoting; falls back to a zero solution
+/// on singular systems (callers then predict 0, clamped later).
+fn solve_gauss(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let piv = (col..n).max_by(|&r1, &r2| {
+            a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap()
+        });
+        let piv = match piv {
+            Some(p) if a[p][col].abs() > 1e-12 => p,
+            _ => return vec![0.0; n],
+        };
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let diag = a[col][col];
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = a[r][col] / diag;
+            let pivot_row = a[col].clone();
+            for (c, &pv) in pivot_row.iter().enumerate().skip(col) {
+                a[r][c] -= f * pv;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    (0..n).map(|i| b[i] / a[i][i]).collect()
+}
+
+/// Piecewise-linear CDF with equal-frequency knots.
+///
+/// Sequences with at most `segments` events fit inside the knot budget, so
+/// they are stored as an *exact* step CDF (the knot table then simply records
+/// every distinct timestamp with its cumulative count — still constant
+/// size). Longer sequences interpolate between equal-frequency knots.
+#[derive(Debug)]
+struct PwlModel {
+    /// Knots `(t, cumulative count)`, strictly increasing in `t`.
+    knots: Vec<(f64, f64)>,
+    /// Exact step mode (small sequences).
+    step: bool,
+}
+
+impl PwlModel {
+    fn fit(ts: &[f64], segments: usize) -> Self {
+        let n = ts.len();
+        if n <= segments {
+            // Exact step CDF: one knot per distinct timestamp.
+            let mut knots: Vec<(f64, f64)> = Vec::with_capacity(n);
+            for (i, &t) in ts.iter().enumerate() {
+                match knots.last_mut() {
+                    Some((kt, kc)) if *kt == t => *kc = (i + 1) as f64,
+                    _ => knots.push((t, (i + 1) as f64)),
+                }
+            }
+            return PwlModel { knots, step: true };
+        }
+        let k = segments.min(n - 1).max(1);
+        let mut knots = vec![(ts[0], 0.0)];
+        for s in 1..=k {
+            let idx = (s * (n - 1)) / k;
+            let t = ts[idx];
+            let cum = (idx + 1) as f64;
+            // Guard strictly-increasing t.
+            if t > knots.last().unwrap().0 {
+                knots.push((t, cum));
+            } else {
+                knots.last_mut().unwrap().1 = cum;
+            }
+        }
+        PwlModel { knots, step: false }
+    }
+}
+
+impl Regressor for PwlModel {
+    fn predict(&self, t: f64) -> f64 {
+        let ks = &self.knots;
+        if t < ks[0].0 {
+            return 0.0;
+        }
+        if self.step {
+            let hi = ks.partition_point(|&(kt, _)| kt <= t);
+            return ks[hi - 1].1;
+        }
+        let last = ks[ks.len() - 1];
+        if t >= last.0 {
+            return last.1;
+        }
+        let hi = ks.partition_point(|&(kt, _)| kt <= t);
+        let (t0, c0) = ks[hi - 1];
+        let (t1, c1) = ks[hi];
+        c0 + (c1 - c0) * (t - t0) / (t1 - t0)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.knots.len() * 16 + 1
+    }
+}
+
+/// Equi-width cumulative histogram; interpolates within bins.
+#[derive(Debug)]
+struct StepModel {
+    t_min: f64,
+    bin_width: f64,
+    /// Cumulative counts at each bin's right edge.
+    cum: Vec<u32>,
+}
+
+impl StepModel {
+    fn fit(ts: &[f64], bins: usize) -> Self {
+        let t_min = ts[0];
+        let span = (ts[ts.len() - 1] - t_min).max(1e-12);
+        let bin_width = span / bins as f64;
+        let mut cum = vec![0u32; bins];
+        for &t in ts {
+            let b = (((t - t_min) / bin_width) as usize).min(bins - 1);
+            cum[b] += 1;
+        }
+        for i in 1..bins {
+            cum[i] += cum[i - 1];
+        }
+        StepModel { t_min, bin_width, cum }
+    }
+}
+
+impl Regressor for StepModel {
+    fn predict(&self, t: f64) -> f64 {
+        if t < self.t_min {
+            return 0.0;
+        }
+        let total = *self.cum.last().unwrap() as f64;
+        let pos = (t - self.t_min) / self.bin_width;
+        let b = pos as usize;
+        if b >= self.cum.len() {
+            return total;
+        }
+        let lo = if b == 0 { 0.0 } else { self.cum[b - 1] as f64 };
+        let hi = self.cum[b] as f64;
+        lo + (hi - lo) * (pos - b as f64)
+    }
+
+    fn size_bytes(&self) -> usize {
+        16 + self.cum.len() * 4
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming buffer + frozen model (paper §4.8's update path).
+// ---------------------------------------------------------------------------
+
+/// A streaming timestamp series: a frozen model over flushed history plus a
+/// bounded buffer of recent events. When the buffer reaches `capacity`, a
+/// new model is refitted over (a sketch of) the full history and the buffer
+/// empties — the paper's "build a new model and flush the buffer".
+#[derive(Debug)]
+pub struct BufferedSeries {
+    kind: RegressorKind,
+    capacity: usize,
+    frozen: Box<dyn Regressor>,
+    /// Events represented by `frozen`.
+    frozen_count: usize,
+    frozen_span: Option<(f64, f64)>,
+    buffer: Vec<f64>,
+}
+
+impl BufferedSeries {
+    /// Creates an empty series with the given model family and buffer size.
+    pub fn new(kind: RegressorKind, capacity: usize) -> Self {
+        BufferedSeries {
+            kind,
+            capacity: capacity.max(1),
+            frozen: Box::new(EmptyModel),
+            frozen_count: 0,
+            frozen_span: None,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Appends an event (monotone non-decreasing time).
+    pub fn push(&mut self, t: f64) {
+        if let Some(&last) = self.buffer.last() {
+            assert!(t >= last, "timestamps must be monotone");
+        } else if let Some((_, hi)) = self.frozen_span {
+            assert!(t >= hi, "timestamps must be monotone");
+        }
+        self.buffer.push(t);
+        if self.buffer.len() >= self.capacity {
+            self.flush();
+        }
+    }
+
+    /// Refits the frozen model over reconstructed history + buffer, then
+    /// clears the buffer. The old model is *sampled* (its inverse CDF at
+    /// unit steps) rather than kept exactly — storage stays constant, at the
+    /// price of the extra approximation the paper accepts.
+    fn flush(&mut self) {
+        let mut ts: Vec<f64> = Vec::with_capacity(self.frozen_count + self.buffer.len());
+        if let Some((lo, hi)) = self.frozen_span {
+            // Inverse-transform sample the frozen model at each integer rank
+            // by bisection on its monotone CDF.
+            for rank in 1..=self.frozen_count {
+                let target = rank as f64;
+                let (mut a, mut b) = (lo, hi);
+                for _ in 0..40 {
+                    let mid = 0.5 * (a + b);
+                    if self.frozen.predict(mid) < target {
+                        a = mid;
+                    } else {
+                        b = mid;
+                    }
+                }
+                ts.push(0.5 * (a + b));
+            }
+        }
+        ts.extend_from_slice(&self.buffer);
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.frozen = self.kind.fit(&ts);
+        self.frozen_count = ts.len();
+        self.frozen_span = ts.first().map(|&lo| (lo, *ts.last().unwrap()));
+        self.buffer.clear();
+    }
+
+    /// Estimated number of events with `time ≤ t` (model + buffer scan).
+    pub fn count_until(&self, t: f64) -> f64 {
+        let model = self.frozen.predict(t).clamp(0.0, self.frozen_count as f64);
+        let buffered = self.buffer.partition_point(|&x| x <= t) as f64;
+        model + buffered
+    }
+
+    /// Total events seen.
+    pub fn total(&self) -> usize {
+        self.frozen_count + self.buffer.len()
+    }
+
+    /// Current storage footprint: model parameters + buffered timestamps.
+    pub fn size_bytes(&self) -> usize {
+        self.frozen.size_bytes() + self.buffer.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_ts(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    /// Poisson-ish arrivals with rate drift (deterministic).
+    fn drifting_ts(n: usize) -> Vec<f64> {
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                t += 1.0 + 0.5 * ((i as f64) * 0.1).sin();
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_kinds_fit_and_bound() {
+        let ts = drifting_ts(200);
+        for kind in RegressorKind::standard_set() {
+            let m = kind.fit(&ts);
+            assert_eq!(m.predict(ts[0] - 10.0), 0.0, "{kind:?} before range");
+            assert!((m.predict(ts[199] + 10.0) - 200.0).abs() < 20.0, "{kind:?} after range");
+            for &t in &[ts[10], ts[100], ts[150]] {
+                let p = m.predict(t);
+                assert!((0.0..=200.0).contains(&p), "{kind:?} out of bounds: {p}");
+            }
+            assert!(m.size_bytes() > 0);
+            assert!(m.size_bytes() < 300, "{kind:?} must be constant-size-small");
+        }
+    }
+
+    #[test]
+    fn linear_is_near_exact_on_uniform_arrivals() {
+        let ts = uniform_ts(100);
+        let m = RegressorKind::Linear.fit(&ts);
+        for (i, &t) in ts.iter().enumerate() {
+            let err = (m.predict(t) - (i + 1) as f64).abs();
+            assert!(err < 2.0, "idx {i}: err {err}");
+        }
+    }
+
+    #[test]
+    fn pwl_interpolates_exactly_at_knots() {
+        let ts = drifting_ts(64);
+        let m = RegressorKind::PiecewiseLinear(8).fit(&ts);
+        // The final knot carries the full count.
+        assert!((m.predict(ts[63]) - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_histogram_monotone() {
+        let ts = drifting_ts(128);
+        let m = RegressorKind::Step(16).fit(&ts);
+        let mut prev = -1.0;
+        let lo = ts[0] - 1.0;
+        let hi = ts[127] + 1.0;
+        for k in 0..200 {
+            let t = lo + (hi - lo) * k as f64 / 199.0;
+            let p = m.predict(t);
+            assert!(p + 1e-9 >= prev, "step model must be monotone");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_sequences() {
+        for kind in RegressorKind::standard_set() {
+            let m = kind.fit(&[]);
+            assert_eq!(m.predict(0.0), 0.0);
+            assert_eq!(m.size_bytes(), 0);
+            // All events at the same instant.
+            let m = kind.fit(&[5.0, 5.0, 5.0]);
+            assert_eq!(m.predict(4.9), 0.0);
+            assert_eq!(m.predict(5.0), 3.0);
+            assert_eq!(m.predict(6.0), 3.0);
+        }
+    }
+
+    #[test]
+    fn higher_degree_fits_curved_cdf_better() {
+        // Quadratic arrivals: density increases linearly.
+        let ts: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt() * 10.0).collect();
+        let lin = RegressorKind::Linear.fit(&ts);
+        let cub = RegressorKind::Cubic.fit(&ts);
+        let mse = |m: &Box<dyn Regressor>| -> f64 {
+            ts.iter()
+                .enumerate()
+                .map(|(i, &t)| {
+                    let d = m.predict(t) - (i + 1) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                / ts.len() as f64
+        };
+        assert!(mse(&cub) < mse(&lin), "cubic must beat linear on curved CDF");
+    }
+
+    #[test]
+    fn buffered_series_exact_until_flush() {
+        let mut s = BufferedSeries::new(RegressorKind::Linear, 100);
+        for t in drifting_ts(50) {
+            s.push(t);
+        }
+        // Still all in the buffer: counts are exact.
+        let ts = drifting_ts(50);
+        assert_eq!(s.count_until(ts[24]), 25.0);
+        assert_eq!(s.total(), 50);
+    }
+
+    #[test]
+    fn buffered_series_flushes_and_stays_close() {
+        let mut s = BufferedSeries::new(RegressorKind::PiecewiseLinear(16), 32);
+        let ts = drifting_ts(200);
+        for &t in &ts {
+            s.push(t);
+        }
+        assert_eq!(s.total(), 200);
+        // Post-flush estimates stay within a few events of truth.
+        for &(idx, tol) in &[(49usize, 8.0), (99, 8.0), (199, 8.0)] {
+            let truth = (idx + 1) as f64;
+            let est = s.count_until(ts[idx]);
+            assert!((est - truth).abs() <= tol, "idx {idx}: est {est} truth {truth}");
+        }
+        // Storage stays bounded regardless of event count.
+        assert!(s.size_bytes() < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn buffered_series_rejects_regression_in_time() {
+        let mut s = BufferedSeries::new(RegressorKind::Linear, 8);
+        s.push(2.0);
+        s.push(1.0);
+    }
+}

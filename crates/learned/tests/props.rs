@@ -1,0 +1,119 @@
+//! Property tests on the regression models: bounds, monotonicity-ish
+//! behaviour, exactness of the step mode, and buffer conservation.
+
+use proptest::prelude::*;
+use stq_learned::{BufferedSeries, RegressorKind};
+
+fn sorted_times() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.001f64..10.0, 0..200).prop_map(|gaps| {
+        let mut t = 0.0;
+        gaps.into_iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+fn all_kinds() -> Vec<RegressorKind> {
+    let mut ks = RegressorKind::standard_set();
+    ks.push(RegressorKind::PiecewiseLinear(64));
+    ks.push(RegressorKind::Step(4));
+    ks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn predictions_bounded(ts in sorted_times(), probe in -5.0f64..2500.0) {
+        for kind in all_kinds() {
+            let m = kind.fit(&ts);
+            let p = m.predict(probe);
+            prop_assert!((0.0..=ts.len() as f64 + 1e-9).contains(&p),
+                "{kind:?} predicted {p} outside [0, {}]", ts.len());
+        }
+    }
+
+    #[test]
+    fn before_first_event_zero_after_last_total(ts in sorted_times()) {
+        if ts.is_empty() { return Ok(()); }
+        for kind in all_kinds() {
+            let m = kind.fit(&ts);
+            prop_assert_eq!(m.predict(ts[0] - 1.0), 0.0);
+            let end = m.predict(ts[ts.len() - 1] + 1.0);
+            // Polynomials may undershoot slightly; never exceed the total.
+            prop_assert!(end <= ts.len() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn pwl_step_mode_is_exact(ts in sorted_times()) {
+        // With a knot budget at least the event count, pwl is an exact CDF.
+        let kind = RegressorKind::PiecewiseLinear(ts.len().max(1));
+        let m = kind.fit(&ts);
+        for (i, &t) in ts.iter().enumerate() {
+            prop_assert!((m.predict(t) - (i + 1) as f64).abs() < 1e-9, "rank {i}");
+            prop_assert!((m.predict(t - 1e-6) - i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pwl_and_step_monotone(ts in sorted_times()) {
+        if ts.is_empty() { return Ok(()); }
+        for kind in [RegressorKind::PiecewiseLinear(8), RegressorKind::Step(16)] {
+            let m = kind.fit(&ts);
+            let lo = ts[0] - 1.0;
+            let hi = ts[ts.len() - 1] + 1.0;
+            let mut prev = -1.0;
+            for k in 0..100 {
+                let t = lo + (hi - lo) * k as f64 / 99.0;
+                let p = m.predict(t);
+                prop_assert!(p + 1e-9 >= prev, "{kind:?} non-monotone at {t}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn model_size_constant(ts in sorted_times()) {
+        // Size must not scale with the event count (beyond the step-exact
+        // small-n regime).
+        for kind in [RegressorKind::Linear, RegressorKind::Quadratic, RegressorKind::Step(16)] {
+            let m = kind.fit(&ts);
+            prop_assert!(m.size_bytes() <= 200, "{kind:?}: {} bytes", m.size_bytes());
+        }
+    }
+
+    #[test]
+    fn buffered_series_conserves_totals(ts in sorted_times(), cap in 1usize..64) {
+        let mut s = BufferedSeries::new(RegressorKind::PiecewiseLinear(16), cap);
+        for &t in &ts {
+            s.push(t);
+        }
+        prop_assert_eq!(s.total(), ts.len());
+        // Final cumulative estimate equals the total (clamped model + buffer).
+        if let Some(&last) = ts.last() {
+            let est = s.count_until(last + 1.0);
+            prop_assert!((est - ts.len() as f64).abs() <= ts.len() as f64 * 0.15 + 2.0,
+                "estimate {est} vs total {}", ts.len());
+        }
+        // Storage bounded regardless of length.
+        prop_assert!(s.size_bytes() <= cap * 8 + 16 * 17 + 64);
+    }
+
+    #[test]
+    fn linear_fit_residual_bounded_on_near_uniform(n in 10usize..150, jitter in 0.0f64..0.2) {
+        // Near-uniform arrivals: linear must fit well (relative residual
+        // bounded by the jitter magnitude plus a constant).
+        let ts: Vec<f64> = (0..n)
+            .map(|i| i as f64 + jitter * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let m = RegressorKind::Linear.fit(&ts);
+        for (i, &t) in ts.iter().enumerate() {
+            let err = (m.predict(t) - (i + 1) as f64).abs();
+            prop_assert!(err <= 2.0 + jitter * n as f64 * 0.5, "rank {i}: err {err}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Synthetic planar road-network generators.
+//!
+//! These replace the paper's Beijing OSM extract (§5.1.1). Each generator
+//! produces a connected plane graph; `RoadNetwork::new` then validates
+//! planarity and attaches the external junction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::network::{NetworkError, RoadNetwork};
+use stq_geom::{triangulate, Point};
+use stq_planar::UnionFind;
+
+/// A perturbed lattice city: `nx × ny` junctions with jittered positions and
+/// a fraction of non-bridge streets removed, producing irregular,
+/// non-axis-aligned blocks (the property the paper's dead-space argument
+/// needs — "exemplary of real-world cities, except Manhattan", §3.1.1).
+///
+/// `jitter` is relative to the unit spacing and clamped to `[0, 0.3]` to
+/// preserve planarity of lattice edges; `drop` is the fraction of removable
+/// edges deleted (connectivity is always preserved).
+pub fn perturbed_grid(
+    nx: usize,
+    ny: usize,
+    jitter: f64,
+    drop: f64,
+    num_ramps: usize,
+    seed: u64,
+) -> Result<RoadNetwork, NetworkError> {
+    assert!(nx >= 2 && ny >= 2, "need at least a 2x2 lattice");
+    let jitter = jitter.clamp(0.0, 0.3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos = Vec::with_capacity(nx * ny);
+    for y in 0..ny {
+        for x in 0..nx {
+            let dx = rng.gen_range(-jitter..=jitter);
+            let dy = rng.gen_range(-jitter..=jitter);
+            pos.push(Point::new(x as f64 + dx, y as f64 + dy));
+        }
+    }
+    let mut edges = Vec::new();
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            if x + 1 < nx {
+                edges.push((i, i + 1));
+            }
+            if y + 1 < ny {
+                edges.push((i, i + nx));
+            }
+        }
+    }
+    let edges = drop_edges_keep_connected(edges, pos.len(), drop, &mut rng);
+    RoadNetwork::new(pos, edges, num_ramps)
+}
+
+/// A Delaunay city: `n` junctions scattered with mild density variation,
+/// connected by their Delaunay triangulation with a fraction of edges
+/// removed. Produces curved, irregular blocks of heterogeneous size — the
+/// default experiment substrate.
+pub fn delaunay_city(
+    n: usize,
+    drop: f64,
+    num_ramps: usize,
+    seed: u64,
+) -> Result<RoadNetwork, NetworkError> {
+    assert!(n >= 4, "need at least 4 junctions");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let side = (n as f64).sqrt() * 10.0;
+    // Density variation: mix a uniform field with a few Gaussian clusters,
+    // like real cities (denser downtown).
+    let n_clusters = 3 + n / 400;
+    let clusters: Vec<Point> = (0..n_clusters)
+        .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let mut pos = Vec::with_capacity(n);
+    while pos.len() < n {
+        let p = if rng.gen_bool(0.5) {
+            Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))
+        } else {
+            let c = clusters[rng.gen_range(0..clusters.len())];
+            let r = rng.gen_range(0.0..side * 0.12);
+            let a = rng.gen_range(0.0..std::f64::consts::TAU);
+            Point::new(
+                (c.x + r * a.cos()).clamp(0.0, side),
+                (c.y + r * a.sin()).clamp(0.0, side),
+            )
+        };
+        pos.push(p);
+    }
+    let tri = triangulate(&pos);
+    let edges = drop_edges_keep_connected(tri.edges(), n, drop, &mut rng);
+    RoadNetwork::new(pos, edges, num_ramps)
+}
+
+/// A ring-radial city: `rings` concentric rings crossed by `spokes` radial
+/// avenues, with angular jitter. Small and regular; useful for examples and
+/// fast tests.
+pub fn ring_radial(
+    rings: usize,
+    spokes: usize,
+    num_ramps: usize,
+    seed: u64,
+) -> Result<RoadNetwork, NetworkError> {
+    assert!(rings >= 1 && spokes >= 3, "need ≥1 ring and ≥3 spokes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos = vec![Point::ORIGIN]; // centre junction
+    let mut edges = Vec::new();
+    let idx = |ring: usize, spoke: usize| 1 + ring * spokes + spoke;
+    for ring in 0..rings {
+        let radius = (ring + 1) as f64 * 10.0;
+        for s in 0..spokes {
+            let jitter = rng.gen_range(-0.2..0.2) / (ring + 1) as f64;
+            let a = std::f64::consts::TAU * (s as f64 / spokes as f64) + jitter;
+            pos.push(Point::new(radius * a.cos(), radius * a.sin()));
+            // Ring edge to the previous spoke.
+            edges.push((idx(ring, s), idx(ring, (s + spokes - 1) % spokes)));
+            // Radial edge inward.
+            if ring == 0 {
+                edges.push((0, idx(0, s)));
+            } else {
+                edges.push((idx(ring, s), idx(ring - 1, s)));
+            }
+        }
+    }
+    RoadNetwork::new(pos, dedup_edges(edges), num_ramps)
+}
+
+/// A highway corridor with `interchanges` exits onto a parallel service
+/// road — the double-counting scenario of §3.1.2: a vehicle that exits at
+/// one ramp and re-enters at the next must not be counted twice.
+///
+/// Junction layout (for `interchanges = 3`):
+///
+/// ```text
+///   service:  s0 ---- s1 ---- s2
+///             |  \   /| \    /|
+///   highway:  h0 ---- h1 ---- h2
+/// ```
+///
+/// Highway junctions sit on `y = 0`, service junctions on `y = 5`; exit and
+/// entry ramps are the diagonals.
+pub fn highway(interchanges: usize, num_ramps: usize) -> Result<RoadNetwork, NetworkError> {
+    assert!(interchanges >= 2, "need at least 2 interchanges");
+    let n = interchanges;
+    let mut pos = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        pos.push(Point::new(i as f64 * 20.0, 0.0)); // h_i
+    }
+    for i in 0..n {
+        pos.push(Point::new(i as f64 * 20.0, 5.0)); // s_i
+    }
+    let mut edges = Vec::new();
+    for i in 0..n - 1 {
+        edges.push((i, i + 1)); // highway segment
+        edges.push((n + i, n + i + 1)); // service road segment
+    }
+    for i in 0..n {
+        edges.push((i, n + i)); // interchange ramp
+    }
+    RoadNetwork::new(pos, edges, num_ramps)
+}
+
+/// Removes up to `drop` fraction of edges uniformly at random while keeping
+/// the graph connected (a random spanning forest is protected first).
+fn drop_edges_keep_connected(
+    mut edges: Vec<(usize, usize)>,
+    n: usize,
+    drop: f64,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize)> {
+    let drop = drop.clamp(0.0, 1.0);
+    if drop == 0.0 {
+        return edges;
+    }
+    // Shuffle, then greedily mark spanning-tree edges as protected.
+    for i in (1..edges.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        edges.swap(i, j);
+    }
+    let mut uf = UnionFind::new(n);
+    let mut protected = vec![false; edges.len()];
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        if uf.union(u, v) {
+            protected[i] = true;
+        }
+    }
+    edges
+        .into_iter()
+        .enumerate()
+        .filter(|&(i, _)| protected[i] || rng.gen_bool(1.0 - drop))
+        .map(|(_, e)| e)
+        .collect()
+}
+
+fn dedup_edges(mut edges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    for e in edges.iter_mut() {
+        if e.0 > e.1 {
+            *e = (e.1, e.0);
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perturbed_grid_valid() {
+        let net = perturbed_grid(8, 6, 0.25, 0.15, 6, 42).unwrap();
+        assert_eq!(net.num_junctions(), 48);
+        assert_eq!(net.embedding().euler_characteristic(), 2);
+        assert!(net.ramps().len() == 6);
+    }
+
+    #[test]
+    fn perturbed_grid_deterministic() {
+        let a = perturbed_grid(5, 5, 0.2, 0.2, 4, 7).unwrap();
+        let b = perturbed_grid(5, 5, 0.2, 0.2, 4, 7).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in a.junctions() {
+            assert_eq!(a.position(v), b.position(v));
+        }
+    }
+
+    #[test]
+    fn delaunay_city_valid() {
+        let net = delaunay_city(300, 0.2, 8, 1).unwrap();
+        assert_eq!(net.num_junctions(), 300);
+        assert_eq!(net.embedding().euler_characteristic(), 2);
+        // Roads per junction stay reasonable (planar: E <= 3V - 6 + ramps).
+        assert!(net.num_edges() <= 3 * 300 - 6 + net.ramps().len());
+    }
+
+    #[test]
+    fn delaunay_city_zero_drop_is_triangulation() {
+        let net = delaunay_city(50, 0.0, 4, 9).unwrap();
+        assert_eq!(net.embedding().euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn ring_radial_valid() {
+        let net = ring_radial(3, 8, 4, 5).unwrap();
+        assert_eq!(net.num_junctions(), 1 + 3 * 8);
+        assert_eq!(net.embedding().euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn highway_valid_and_shaped() {
+        let net = highway(5, 2).unwrap();
+        assert_eq!(net.num_junctions(), 10);
+        // 4 highway + 4 service + 5 interchange edges (+2 ramps).
+        assert_eq!(net.num_edges(), 13 + 2);
+        assert_eq!(net.embedding().euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn drop_preserves_connectivity() {
+        let net = perturbed_grid(10, 10, 0.1, 0.45, 4, 3).unwrap();
+        // RoadNetwork::new would have failed on disconnection; double-check
+        // any pair is reachable.
+        let p = net.shortest_path(0, net.num_junctions() - 1);
+        assert!(p.is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_grid_panics() {
+        let _ = perturbed_grid(1, 5, 0.0, 0.0, 1, 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # stq-mobility
+//!
+//! The mobility domain (paper §3.2.1): planar road networks and moving
+//! objects travelling on them.
+//!
+//! Because the original evaluation assets (Beijing OSM extract, T-Drive and
+//! Geolife GPS logs) are not redistributable, this crate generates synthetic
+//! equivalents that exercise the identical code paths:
+//!
+//! - [`gen`] — planar road-network generators: perturbed lattice,
+//!   Delaunay city with irregular blocks, ring-radial city, and a highway
+//!   corridor with ramps (for the double-counting scenario of §3.1.2),
+//! - [`network::RoadNetwork`] — an embedded road graph with an explicit
+//!   external junction `⋆v_ext` (Fig. 8a) through which objects enter and
+//!   leave the monitored region,
+//! - [`trajectory`] — timed walks on the road graph: random-waypoint,
+//!   hotspot "commuter" (density-skewed, as real taxi fleets are), and
+//!   border-to-border transit traffic,
+//! - [`matching`] — GPS noise simulation and the map-matching preprocessing
+//!   of §5.1.3 (snap to nearest node, stitch with shortest paths).
+//!
+//! All generation is deterministic under a caller-supplied seed.
+
+pub mod gen;
+pub mod matching;
+pub mod network;
+pub mod stats;
+pub mod trajectory;
+
+pub use network::RoadNetwork;
+pub use trajectory::{Trajectory, TrajectoryConfig, WorkloadMix};
+
+/// Timestamps (seconds); shared convention with `stq-forms`.
+pub type Time = f64;

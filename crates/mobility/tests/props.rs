@@ -1,0 +1,66 @@
+//! Property tests: generated road networks are valid planar cities and
+//! generated trajectories are valid timed walks on them.
+
+use proptest::prelude::*;
+use stq_mobility::gen::{delaunay_city, highway, perturbed_grid, ring_radial};
+use stq_mobility::trajectory::{generate_mix, TrajectoryConfig, WorkloadMix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn perturbed_grid_always_valid(nx in 3usize..9, ny in 3usize..9,
+                                   jitter in 0.0f64..0.3, drop in 0.0f64..0.5,
+                                   ramps in 1usize..8, seed in 0u64..500) {
+        let net = perturbed_grid(nx, ny, jitter, drop, ramps, seed).unwrap();
+        prop_assert_eq!(net.num_junctions(), nx * ny);
+        prop_assert_eq!(net.embedding().euler_characteristic(), 2);
+        prop_assert!(!net.gate_junctions().is_empty());
+        // Connectivity: opposite corners reachable.
+        prop_assert!(net.shortest_path(0, nx * ny - 1).is_some());
+    }
+
+    #[test]
+    fn delaunay_city_always_valid(n in 10usize..120, drop in 0.0f64..0.4, seed in 0u64..500) {
+        let net = delaunay_city(n, drop, 6, seed).unwrap();
+        prop_assert_eq!(net.num_junctions(), n);
+        prop_assert_eq!(net.embedding().euler_characteristic(), 2);
+        // Planar edge bound (ramps included).
+        prop_assert!(net.num_edges() <= 3 * (n + 1));
+    }
+
+    #[test]
+    fn ring_radial_always_valid(rings in 1usize..5, spokes in 3usize..12, seed in 0u64..200) {
+        let net = ring_radial(rings, spokes, 4, seed).unwrap();
+        prop_assert_eq!(net.num_junctions(), 1 + rings * spokes);
+        prop_assert_eq!(net.embedding().euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn highway_always_valid(n in 2usize..12) {
+        let net = highway(n, 2).unwrap();
+        prop_assert_eq!(net.num_junctions(), 2 * n);
+        prop_assert_eq!(net.embedding().euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn workloads_are_valid_walks(seed in 0u64..200, n_obj in 1usize..8,
+                                 speed in 1.0f64..20.0, exit_p in 0.0f64..1.0) {
+        let net = perturbed_grid(5, 5, 0.15, 0.1, 3, seed).unwrap();
+        let cfg = TrajectoryConfig {
+            speed,
+            pause: 10.0,
+            duration: 300.0,
+            exit_probability: exit_p,
+        };
+        let mix = WorkloadMix { random_waypoint: n_obj, commuter: n_obj, transit: n_obj };
+        for traj in generate_mix(&net, mix, cfg, seed) {
+            prop_assert!(traj.validate(&net), "object {} produced an invalid walk", traj.id);
+            prop_assert_eq!(traj.visits.first().map(|&(_, v)| v), Some(net.v_ext()));
+            // Timestamps within the spawn window and a grace period for the
+            // final exit walk.
+            prop_assert!(traj.start_time() >= 0.0);
+            prop_assert!(traj.end_time() <= 300.0 + 400.0 / speed + 1.0);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests on the network simulator: cost accounting is consistent
+//! with BFS ground truth on random topologies.
+
+use proptest::prelude::*;
+use stq_net::{EnergyModel, Network};
+
+fn topology() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..30).prop_flat_map(|n| {
+        // A random spanning-ish structure: each node links to an earlier one
+        // (connected), plus random extra links.
+        let tree = proptest::collection::vec(0usize..1000, n - 1);
+        let extra = proptest::collection::vec((0..n, 0..n), 0..n);
+        (Just(n), tree, extra).prop_map(|(n, tree, extra)| {
+            let mut links: Vec<(usize, usize)> =
+                tree.iter().enumerate().map(|(i, &r)| (i + 1, r % (i + 1))).collect();
+            links.extend(extra.into_iter().filter(|&(a, b)| a != b));
+            (n, links)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hops_satisfy_triangle_inequality((n, links) in topology(), s in 0usize..30, t in 0usize..30) {
+        let net = Network::new(n, &links);
+        let (s, t) = (s % n, t % n);
+        let hs = net.hops_from(s);
+        let ht = net.hops_from(t);
+        // Symmetry.
+        prop_assert_eq!(hs[t], ht[s]);
+        // Triangle inequality through every node.
+        if hs[t] != usize::MAX {
+            for v in 0..n {
+                if hs[v] != usize::MAX && ht[v] != usize::MAX {
+                    prop_assert!(hs[t] <= hs[v] + ht[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_aggregation_cost_consistent((n, links) in topology(), g in 0usize..30,
+                                          mask in 0u32..u32::MAX) {
+        let net = Network::new(n, &links);
+        let g = g % n;
+        let perimeter: Vec<usize> = (0..n).filter(|&v| mask & (1 << (v % 32)) != 0).collect();
+        let hops = net.hops_from(g);
+        let report = net.server_aggregation(g, &perimeter);
+        // Hops = 2 × Σ reachable distances; max_route = max distance.
+        let expected: usize =
+            perimeter.iter().filter(|&&p| hops[p] != usize::MAX).map(|&p| 2 * hops[p]).sum();
+        prop_assert_eq!(report.hops, expected);
+        let max = perimeter
+            .iter()
+            .filter(|&&p| hops[p] != usize::MAX)
+            .map(|&p| hops[p])
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(report.max_route, max);
+        // Energy is linear in hops.
+        let e = EnergyModel::default().energy(&report);
+        prop_assert!((e - report.hops as f64 * 3.0e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traversal_visits_all_reachable((n, links) in topology(), seed in 0usize..30,
+                                      mask in 0u32..u32::MAX) {
+        let net = Network::new(n, &links);
+        let seed_node = seed % n;
+        let perimeter: Vec<usize> = (0..n).filter(|&v| mask & (1 << (v % 32)) != 0).collect();
+        let hops = net.hops_from(seed_node);
+        let reachable = perimeter.iter().filter(|&&p| hops[p] != usize::MAX).count();
+        let report = net.perimeter_traversal(seed_node, &perimeter);
+        // Contacts at least every reachable perimeter node (plus relays),
+        // and at least the seed itself.
+        prop_assert!(report.nodes_contacted >= reachable.max(usize::from(!perimeter.is_empty())) );
+    }
+
+    #[test]
+    fn flood_reaches_every_reachable_target((n, links) in topology(), s in 0usize..30) {
+        let net = Network::new(n, &links);
+        let s = s % n;
+        let hops = net.hops_from(s);
+        let targets: Vec<usize> = (0..n).collect();
+        let report = net.flood(s, &targets);
+        let reachable = hops.iter().filter(|&&h| h != usize::MAX).count();
+        prop_assert_eq!(report.nodes_contacted, reachable);
+        // Flood depth equals the eccentricity of s (within its component).
+        let ecc = hops.iter().filter(|&&h| h != usize::MAX).max().copied().unwrap_or(0);
+        prop_assert!(report.max_route >= ecc);
+    }
+}

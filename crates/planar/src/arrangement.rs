@@ -1,0 +1,208 @@
+//! Planarization of segment arrangements (paper §4.2).
+//!
+//! "We then generate the planarized graph by removing intersections from
+//! underpasses and flyovers by inserting nodes at the intersections." Given a
+//! soup of segments (raw map geometry), [`planarize`] inserts a vertex at
+//! every crossing and splits the segments, yielding a plane graph suitable
+//! for [`crate::embedding::Embedding::from_geometry`].
+//!
+//! The implementation is the straightforward O(n²) pairwise sweep — the
+//! generators feed it thousands of segments at most, and correctness beats
+//! asymptotics here.
+
+use stq_geom::{segment_intersection, Point, Segment, SegmentIntersection};
+
+/// Output of [`planarize`]: deduplicated vertices and non-crossing edges.
+#[derive(Clone, Debug, Default)]
+pub struct PlaneGraph {
+    /// Deduplicated vertex coordinates.
+    pub positions: Vec<Point>,
+    /// Non-crossing edges as index pairs into `positions`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Snapping tolerance: points closer than this merge into one vertex.
+const SNAP: f64 = 1e-7;
+
+struct VertexPool {
+    positions: Vec<Point>,
+    // Simple spatial hash for snapping.
+    buckets: std::collections::HashMap<(i64, i64), Vec<usize>>,
+}
+
+impl VertexPool {
+    fn new() -> Self {
+        VertexPool { positions: Vec::new(), buckets: std::collections::HashMap::new() }
+    }
+
+    fn key(p: Point) -> (i64, i64) {
+        ((p.x / (SNAP * 4.0)).round() as i64, (p.y / (SNAP * 4.0)).round() as i64)
+    }
+
+    fn intern(&mut self, p: Point) -> usize {
+        let (kx, ky) = Self::key(p);
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                if let Some(cands) = self.buckets.get(&(kx + dx, ky + dy)) {
+                    for &i in cands {
+                        if self.positions[i].dist(p) <= SNAP {
+                            return i;
+                        }
+                    }
+                }
+            }
+        }
+        let id = self.positions.len();
+        self.positions.push(p);
+        self.buckets.entry((kx, ky)).or_default().push(id);
+        id
+    }
+}
+
+/// Planarizes a set of segments: inserts vertices at all pairwise
+/// intersections (including endpoint touches), splits segments there, snaps
+/// coincident points, and drops zero-length and duplicate edges.
+///
+/// Collinear overlaps are handled by splitting at the overlap endpoints; the
+/// shared portion becomes a single edge.
+pub fn planarize(segments: &[Segment]) -> PlaneGraph {
+    let n = segments.len();
+    // Split parameters per segment, always including the endpoints.
+    let mut cuts: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0, 1.0]).collect();
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match segment_intersection(&segments[i], &segments[j]) {
+                SegmentIntersection::None => {}
+                SegmentIntersection::Point { t, u, .. } => {
+                    cuts[i].push(t);
+                    cuts[j].push(u);
+                }
+                SegmentIntersection::Overlap { from, to } => {
+                    for p in [from, to] {
+                        cuts[i].push(param(&segments[i], p));
+                        cuts[j].push(param(&segments[j], p));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut pool = VertexPool::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (i, seg) in segments.iter().enumerate() {
+        let c = &mut cuts[i];
+        c.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        c.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        for w in 0..c.len() - 1 {
+            let p = seg.at(c[w]);
+            let q = seg.at(c[w + 1]);
+            if p.dist(q) <= SNAP {
+                continue;
+            }
+            let u = pool.intern(p);
+            let v = pool.intern(q);
+            if u != v {
+                edges.push(if u < v { (u, v) } else { (v, u) });
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    PlaneGraph { positions: pool.positions, edges }
+}
+
+fn param(s: &Segment, p: Point) -> f64 {
+    let d = s.b - s.a;
+    let l2 = d.dot(d);
+    if l2 <= f64::EPSILON {
+        0.0
+    } else {
+        ((p - s.a).dot(d) / l2).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::Embedding;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn plus_sign_splits_both() {
+        let g = planarize(&[seg(-1.0, 0.0, 1.0, 0.0), seg(0.0, -1.0, 0.0, 1.0)]);
+        assert_eq!(g.positions.len(), 5); // 4 tips + centre
+        assert_eq!(g.edges.len(), 4);
+        let emb = Embedding::from_geometry(g.positions, g.edges).unwrap();
+        assert_eq!(emb.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn shared_endpoints_merge() {
+        let g = planarize(&[seg(0.0, 0.0, 1.0, 0.0), seg(1.0, 0.0, 1.0, 1.0), seg(1.0, 1.0, 0.0, 0.0)]);
+        assert_eq!(g.positions.len(), 3);
+        assert_eq!(g.edges.len(), 3);
+    }
+
+    #[test]
+    fn grid_of_segments() {
+        // 3 horizontal × 3 vertical full-span lines → 9 crossings.
+        let mut segs = Vec::new();
+        for k in 0..3 {
+            let c = k as f64;
+            segs.push(seg(-0.5, c, 2.5, c));
+            segs.push(seg(c, -0.5, c, 2.5));
+        }
+        let g = planarize(&segs);
+        // 9 interior crossings + 12 tips.
+        assert_eq!(g.positions.len(), 21);
+        let emb = Embedding::from_geometry(g.positions, g.edges).unwrap();
+        let faces = emb.faces();
+        // 4 cells + outer face.
+        assert_eq!(faces.walks.len(), 5);
+    }
+
+    #[test]
+    fn collinear_overlap_dedupes() {
+        let g = planarize(&[seg(0.0, 0.0, 2.0, 0.0), seg(1.0, 0.0, 3.0, 0.0)]);
+        // Vertices 0,1,2,3 on a line; edges (0-1),(1-2),(2-3) with the
+        // overlap (1-2) appearing once.
+        assert_eq!(g.positions.len(), 4);
+        assert_eq!(g.edges.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_segments_collapse() {
+        let g = planarize(&[seg(0.0, 0.0, 1.0, 1.0), seg(0.0, 0.0, 1.0, 1.0)]);
+        assert_eq!(g.positions.len(), 2);
+        assert_eq!(g.edges.len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = planarize(&[]);
+        assert!(g.positions.is_empty());
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn x_crossing_with_t_junction() {
+        let g = planarize(&[
+            seg(0.0, 0.0, 2.0, 2.0),
+            seg(0.0, 2.0, 2.0, 0.0),
+            seg(1.0, 1.0, 1.0, 3.0), // T onto the crossing point
+        ]);
+        let emb = Embedding::from_geometry(g.positions.clone(), g.edges.clone()).unwrap();
+        assert_eq!(emb.euler_characteristic(), 2);
+        // Centre vertex has degree 5.
+        let centre = g
+            .positions
+            .iter()
+            .position(|p| p.dist(Point::new(1.0, 1.0)) < 1e-6)
+            .expect("centre vertex exists");
+        assert_eq!(emb.degree(centre), 5);
+    }
+}

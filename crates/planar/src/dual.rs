@@ -1,0 +1,256 @@
+//! Dual graphs and subgraph faces.
+//!
+//! The paper's sensing graph `G` is the planar dual of the mobility graph
+//! `⋆G` (§3.2.3): a sensor per road-network face, a communication link per
+//! road. Vertex–edge duality means an object traversing road edge
+//! `⋆e = (u, v)` crosses exactly the dual sensing edge `e`, moving from the
+//! sensing cell of junction `u` to that of junction `v` — the crossing events
+//! the tracking forms of §4.7 record.
+
+use crate::embedding::{EdgeId, Embedding, FaceId, Faces, VertexId};
+use crate::unionfind::UnionFind;
+
+/// The dual of an embedded planar graph.
+///
+/// Dual vertices are primal faces; dual edge `e` reuses the index of primal
+/// edge `e` and connects the faces on either side of it. Dual faces
+/// correspond to primal vertices.
+#[derive(Clone, Debug)]
+pub struct DualGraph {
+    /// Number of dual vertices (= primal faces).
+    pub num_vertices: usize,
+    /// For each primal edge `e`: `(face left of half-edge 2e, face left of
+    /// half-edge 2e+1)` — the tail/head of dual edge `e`.
+    pub edge_faces: Vec<(FaceId, FaceId)>,
+}
+
+impl DualGraph {
+    /// Builds the dual of `emb` with faces `faces`.
+    pub fn new(emb: &Embedding, faces: &Faces) -> Self {
+        let edge_faces = (0..emb.num_edges())
+            .map(|e| (faces.face_of[2 * e], faces.face_of[2 * e + 1]))
+            .collect();
+        DualGraph { num_vertices: faces.walks.len(), edge_faces }
+    }
+
+    /// Adjacency list of the dual graph: for each dual vertex (primal face),
+    /// the list of `(neighbour_face, primal_edge)` pairs. Parallel edges and
+    /// loops (from primal bridges) are preserved.
+    pub fn adjacency(&self) -> Vec<Vec<(FaceId, EdgeId)>> {
+        let mut adj: Vec<Vec<(FaceId, EdgeId)>> = vec![Vec::new(); self.num_vertices];
+        for (e, &(f, g)) in self.edge_faces.iter().enumerate() {
+            adj[f].push((g, e));
+            if f != g {
+                adj[g].push((f, e));
+            }
+        }
+        adj
+    }
+
+    /// Materializes the dual as a full [`Embedding`] with rotations derived
+    /// from the primal face walks. Dual vertices have no positions here;
+    /// callers can attach face interior points afterwards.
+    ///
+    /// The faces of the returned embedding correspond one-to-one to the
+    /// *non-isolated vertices* of the primal graph (tested).
+    pub fn dual_embedding(&self, faces: &Faces) -> Embedding {
+        let positions = vec![None; self.num_vertices];
+        let edges: Vec<(VertexId, VertexId)> = self.edge_faces.clone();
+        // Dual half-edge h originates at the face left of primal half-edge h,
+        // so the rotation at dual vertex f is exactly f's face walk. The walk
+        // traverses the face boundary counter-clockwise (interior faces);
+        // seen *from the face's interior point*, the crossed edges appear in
+        // counter-clockwise order as well, so the walk order is the rotation.
+        let rotations: Vec<Vec<usize>> = faces.walks.clone();
+        Embedding::from_rotations(positions, edges, rotations)
+            .expect("dual rotations are a permutation of half-edges by construction")
+    }
+}
+
+/// Faces of a subgraph `G̃ ⊆ G` of the dual, described on the primal side.
+///
+/// Removing a dual edge merges the two dual faces (primal vertices) it
+/// separates, so the faces of `G̃` are the connected components of the primal
+/// graph restricted to edges whose dual is *not* in `G̃`. Each face of the
+/// sampled sensing graph is therefore a union of junction cells — exactly
+/// the coarser cells the paper's sampled graph induces (§4.5–§4.6, Fig. 7).
+#[derive(Clone, Debug)]
+pub struct SubgraphFaces {
+    /// Component (= sampled-graph face) id for each primal vertex.
+    pub component_of: Vec<usize>,
+    /// Primal vertices of each component.
+    pub members: Vec<Vec<VertexId>>,
+}
+
+impl SubgraphFaces {
+    /// Number of faces of the subgraph.
+    pub fn num_faces(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Computes the faces of the dual subgraph whose edge set is
+/// `{e : monitored[e]}` (see [`SubgraphFaces`]).
+///
+/// `monitored.len()` must equal `emb.num_edges()`.
+pub fn subgraph_faces(emb: &Embedding, monitored: &[bool]) -> SubgraphFaces {
+    assert_eq!(monitored.len(), emb.num_edges(), "one flag per primal edge");
+    let n = emb.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for (e, &(u, v)) in emb.edges().iter().enumerate() {
+        if !monitored[e] {
+            uf.union(u, v);
+        }
+    }
+    let (component_of, k) = uf.groups();
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+    for (v, &c) in component_of.iter().enumerate() {
+        members[c].push(v);
+    }
+    SubgraphFaces { component_of, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stq_geom::Point;
+
+    fn grid(nx: usize, ny: usize) -> Embedding {
+        let mut pos = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                pos.push(Point::new(x as f64, y as f64));
+            }
+        }
+        let mut edges = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = y * nx + x;
+                if x + 1 < nx {
+                    edges.push((i, i + 1));
+                }
+                if y + 1 < ny {
+                    edges.push((i, i + nx));
+                }
+            }
+        }
+        Embedding::from_geometry(pos, edges).unwrap()
+    }
+
+    #[test]
+    fn dual_of_grid_counts() {
+        let emb = grid(4, 4);
+        let faces = emb.faces();
+        assert_eq!(faces.walks.len(), 10); // 9 cells + outer
+        let dual = DualGraph::new(&emb, &faces);
+        assert_eq!(dual.num_vertices, 10);
+        assert_eq!(dual.edge_faces.len(), emb.num_edges());
+        // Every interior cell of the grid has 4 dual neighbours.
+        let adj = dual.adjacency();
+        let outer = emb.outer_face(&faces).unwrap();
+        for (f, a) in adj.iter().enumerate() {
+            if f != outer {
+                assert_eq!(a.len(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn dual_faces_are_primal_vertices() {
+        let emb = grid(4, 3);
+        let faces = emb.faces();
+        let dual = DualGraph::new(&emb, &faces);
+        let demb = dual.dual_embedding(&faces);
+        let dfaces = demb.faces();
+        // Faces of the dual ↔ non-isolated primal vertices.
+        assert_eq!(dfaces.walks.len(), emb.num_vertices());
+        // Dual embedding still satisfies Euler's formula.
+        assert_eq!(demb.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn dual_of_triangle_has_loopless_multiedges() {
+        // Triangle: 2 faces, 3 edges — the dual is a 2-vertex multigraph
+        // with 3 parallel edges (a theta graph on the sphere).
+        let emb = Embedding::from_geometry(
+            vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)],
+            vec![(0, 1), (1, 2), (2, 0)],
+        )
+        .unwrap();
+        let faces = emb.faces();
+        let dual = DualGraph::new(&emb, &faces);
+        assert_eq!(dual.num_vertices, 2);
+        for &(f, g) in &dual.edge_faces {
+            assert_ne!(f, g);
+        }
+        let demb = dual.dual_embedding(&faces);
+        assert_eq!(demb.faces().walks.len(), 3); // = primal vertex count
+    }
+
+    #[test]
+    fn bridge_dualizes_to_loop() {
+        // Two triangles joined by a bridge: the bridge's dual is a loop.
+        let emb = Embedding::from_geometry(
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(1.0, 0.0),
+                Point::new(0.5, 1.0),
+                Point::new(3.0, 0.0),
+                Point::new(4.0, 0.0),
+                Point::new(3.5, 1.0),
+            ],
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (1, 3)],
+        )
+        .unwrap();
+        let faces = emb.faces();
+        let dual = DualGraph::new(&emb, &faces);
+        let loops: Vec<_> = dual.edge_faces.iter().filter(|&&(f, g)| f == g).collect();
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn subgraph_faces_full_and_empty() {
+        let emb = grid(3, 3);
+        // All edges monitored → faces of G̃ = faces of G = one junction each.
+        let all = vec![true; emb.num_edges()];
+        let sf = subgraph_faces(&emb, &all);
+        assert_eq!(sf.num_faces(), emb.num_vertices());
+        // No edges monitored → a single face containing every junction.
+        let none = vec![false; emb.num_edges()];
+        let sf0 = subgraph_faces(&emb, &none);
+        assert_eq!(sf0.num_faces(), 1);
+        assert_eq!(sf0.members[0].len(), emb.num_vertices());
+    }
+
+    #[test]
+    fn subgraph_faces_cut_grid_in_half() {
+        // Monitor the vertical "wall" of edges between columns 1 and 2 of a
+        // 4x4 grid → exactly two components (left 2 columns, right 2).
+        let nx = 4;
+        let emb = grid(nx, 4);
+        let mut monitored = vec![false; emb.num_edges()];
+        for (e, &(u, v)) in emb.edges().iter().enumerate() {
+            let (xu, xv) = (u % nx, v % nx);
+            if (xu == 1 && xv == 2) || (xu == 2 && xv == 1) {
+                monitored[e] = true;
+            }
+        }
+        let sf = subgraph_faces(&emb, &monitored);
+        assert_eq!(sf.num_faces(), 2);
+        let left = sf.component_of[0];
+        for v in 0..emb.num_vertices() {
+            if v % nx < 2 {
+                assert_eq!(sf.component_of[v], left);
+            } else {
+                assert_ne!(sf.component_of[v], left);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn subgraph_faces_length_mismatch_panics() {
+        let emb = grid(2, 2);
+        let _ = subgraph_faces(&emb, &[true]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Shortest paths and connectivity over adjacency lists.
+//!
+//! The sampled sensing graph materializes its abstract edges as shortest
+//! paths between selected sensors in the full sensing graph `G` (paper §4.5);
+//! this module supplies the Dijkstra machinery, generic over any adjacency
+//! list, so it serves both the dual (sensor) graph and the road graph.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A weighted adjacency list: `adj[u]` lists `(v, edge_id, weight)`.
+pub type WeightedAdj = Vec<Vec<(usize, usize, f64)>>;
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other.dist.partial_cmp(&self.dist).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-path tree from `source`.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    /// Distance from the source (`f64::INFINITY` when unreachable).
+    pub dist: Vec<f64>,
+    /// Predecessor `(node, edge_id)` on the shortest path, `usize::MAX`
+    /// sentinels at the source / unreachable nodes.
+    pub prev: Vec<(usize, usize)>,
+}
+
+impl ShortestPaths {
+    /// Reconstructs the path `source → target` as `(vertices, edge_ids)`.
+    /// Returns `None` when `target` is unreachable.
+    pub fn path_to(&self, target: usize) -> Option<(Vec<usize>, Vec<usize>)> {
+        if !self.dist[target].is_finite() {
+            return None;
+        }
+        let mut verts = vec![target];
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while self.prev[cur].0 != usize::MAX {
+            let (p, e) = self.prev[cur];
+            verts.push(p);
+            edges.push(e);
+            cur = p;
+        }
+        verts.reverse();
+        edges.reverse();
+        Some((verts, edges))
+    }
+}
+
+/// Dijkstra from `source` over a weighted adjacency list. Negative weights
+/// are rejected with a panic (programming error).
+pub fn dijkstra(adj: &WeightedAdj, source: usize) -> ShortestPaths {
+    let n = adj.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![(usize::MAX, usize::MAX); n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, e, w) in &adj[u] {
+            assert!(w >= 0.0, "negative edge weight");
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = (u, e);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths { dist, prev }
+}
+
+/// Dijkstra that stops as soon as `target` is settled; cheaper when only one
+/// path is needed.
+pub fn dijkstra_to(adj: &WeightedAdj, source: usize, target: usize) -> Option<(Vec<usize>, Vec<usize>)> {
+    let n = adj.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![(usize::MAX, usize::MAX); n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: source });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if u == target {
+            break;
+        }
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, e, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = (u, e);
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPaths { dist, prev }.path_to(target)
+}
+
+/// Breadth-first distances (hop counts) from `source` over an unweighted
+/// adjacency list; `usize::MAX` marks unreachable nodes.
+pub fn bfs_hops(adj: &[Vec<usize>], source: usize) -> Vec<usize> {
+    let n = adj.len();
+    let mut hops = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    hops[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u] {
+            if hops[v] == usize::MAX {
+                hops[v] = hops[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    hops
+}
+
+/// Mean shortest-path hop count over `samples` random source pairs — the
+/// `ℓ_G` of the paper's cost model (§4.9). Deterministic given `seed`.
+pub fn mean_path_length(adj: &[Vec<usize>], samples: usize, seed: u64) -> f64 {
+    let n = adj.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for _ in 0..samples {
+        let s = (next() % n as u64) as usize;
+        let hops = bfs_hops(adj, s);
+        let t = (next() % n as u64) as usize;
+        if hops[t] != usize::MAX && t != s {
+            total += hops[t] as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> WeightedAdj {
+        // 0 -1- 1 -1- 3 ; 0 -1- 2 -0.5- 3
+        let mut adj: WeightedAdj = vec![Vec::new(); 4];
+        let mut add = |adj: &mut WeightedAdj, u: usize, v: usize, e: usize, w: f64| {
+            adj[u].push((v, e, w));
+            adj[v].push((u, e, w));
+        };
+        add(&mut adj, 0, 1, 0, 1.0);
+        add(&mut adj, 1, 3, 1, 1.0);
+        add(&mut adj, 0, 2, 2, 1.0);
+        add(&mut adj, 2, 3, 3, 0.5);
+        adj
+    }
+
+    #[test]
+    fn dijkstra_picks_cheaper_route() {
+        let adj = diamond();
+        let sp = dijkstra(&adj, 0);
+        assert_eq!(sp.dist[3], 1.5);
+        let (verts, edges) = sp.path_to(3).unwrap();
+        assert_eq!(verts, vec![0, 2, 3]);
+        assert_eq!(edges, vec![2, 3]);
+    }
+
+    #[test]
+    fn dijkstra_to_matches_full() {
+        let adj = diamond();
+        let p = dijkstra_to(&adj, 0, 3).unwrap();
+        assert_eq!(p.0, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable() {
+        let mut adj = diamond();
+        adj.push(Vec::new()); // isolated node 4
+        let sp = dijkstra(&adj, 0);
+        assert!(sp.dist[4].is_infinite());
+        assert!(sp.path_to(4).is_none());
+        assert!(dijkstra_to(&adj, 0, 4).is_none());
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let adj = diamond();
+        let sp = dijkstra(&adj, 2);
+        let (verts, edges) = sp.path_to(2).unwrap();
+        assert_eq!(verts, vec![2]);
+        assert!(edges.is_empty());
+    }
+
+    #[test]
+    fn bfs_hops_ring() {
+        let n = 6;
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
+        let hops = bfs_hops(&adj, 0);
+        assert_eq!(hops, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn mean_path_length_ring_reasonable() {
+        let n = 32;
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
+        let l = mean_path_length(&adj, 200, 7);
+        // Expected mean hop distance on a 32-ring is 32/4 = 8.
+        assert!(l > 5.0 && l < 11.0, "got {l}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: every sampling method returns exactly the requested
+//! number of distinct, valid candidates, deterministically per seed.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stq_geom::Point;
+use stq_sampling::{sample, stratified, weighted, SamplingMethod};
+
+fn candidates() -> impl Strategy<Value = Vec<(Point, u32)>> {
+    proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..150).prop_map(|pts| {
+        pts.into_iter().enumerate().map(|(i, (x, y))| (Point::new(x, y), i as u32 * 3)).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exactly_m_distinct_valid(cands in candidates(), m in 0usize..200, seed in 0u64..50) {
+        let ids: std::collections::HashSet<u32> = cands.iter().map(|&(_, id)| id).collect();
+        for method in SamplingMethod::ALL {
+            let sel = sample(method, &cands, m, seed);
+            prop_assert_eq!(sel.len(), m.min(cands.len()), "{:?}", method);
+            let mut d = sel.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), sel.len(), "{:?} returned duplicates", method);
+            for id in &sel {
+                prop_assert!(ids.contains(id), "{:?} invented id {}", method, id);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed(cands in candidates(), m in 1usize..50, seed in 0u64..50) {
+        for method in SamplingMethod::ALL {
+            let a = sample(method, &cands, m, seed);
+            let b = sample(method, &cands, m, seed);
+            prop_assert_eq!(a, b, "{:?} not deterministic", method);
+        }
+    }
+
+    #[test]
+    fn weighted_returns_distinct(cands in candidates(), m in 1usize..50, seed in 0u64..50) {
+        let weights: Vec<f64> = cands.iter().map(|&(_, id)| (id % 7) as f64 + 0.5).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = weighted(&cands, &weights, m, &mut rng);
+        prop_assert_eq!(sel.len(), m.min(cands.len()));
+        let mut d = sel.clone();
+        d.sort_unstable();
+        d.dedup();
+        prop_assert_eq!(d.len(), sel.len());
+    }
+
+    #[test]
+    fn stratified_covers_all_strata_given_budget(cands in candidates(), seed in 0u64..50) {
+        if cands.len() < 4 { return Ok(()); }
+        // Two strata split by index parity; equal allocation.
+        let even: Vec<usize> = (0..cands.len()).step_by(2).collect();
+        let odd: Vec<usize> = (1..cands.len()).step_by(2).collect();
+        let m = (cands.len() / 2).max(2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sel = stratified(&cands, &[even.clone(), odd.clone()], &[1.0, 1.0], m, &mut rng);
+        prop_assert_eq!(sel.len(), m);
+        // With equal weights and enough budget, both strata contribute.
+        if m >= 4 && !odd.is_empty() {
+            let id_to_idx: std::collections::HashMap<u32, usize> =
+                cands.iter().enumerate().map(|(i, &(_, id))| (id, i)).collect();
+            let even_n = sel.iter().filter(|&&id| id_to_idx[&id] % 2 == 0).count();
+            prop_assert!(even_n > 0 && even_n < sel.len(),
+                "one stratum was starved: {even_n}/{}", sel.len());
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Static 2-d tree (kd-tree) over points with payloads.
+
+use stq_geom::{Point, Rect};
+
+/// An entry stored in the tree: a location plus an opaque payload id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    /// Location of the entry.
+    pub point: Point,
+    /// Opaque payload id (callers map back to graph objects).
+    pub id: u32,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        entries: Vec<Entry>,
+    },
+    Split {
+        axis: u8, // 0 = x, 1 = y
+        coord: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A static kd-tree built once over a point set.
+///
+/// The tree recursively splits on the median of the wider axis until each
+/// leaf holds at most `leaf_cap` entries — matching the paper's hierarchical
+/// space-partition sampling, which "recursively partition[s] the space until
+/// the leaf level has *m* nodes" (§4.3).
+#[derive(Clone, Debug)]
+pub struct KdTree {
+    root: Node,
+    len: usize,
+    bounds: Rect,
+}
+
+impl KdTree {
+    /// Builds a tree with leaves holding at most `leaf_cap` entries.
+    ///
+    /// `leaf_cap` is clamped to at least 1. Building from an empty slice is
+    /// allowed and yields an empty tree.
+    pub fn build(entries: &[(Point, u32)], leaf_cap: usize) -> Self {
+        let leaf_cap = leaf_cap.max(1);
+        let mut items: Vec<Entry> =
+            entries.iter().map(|&(point, id)| Entry { point, id }).collect();
+        let bounds = Rect::bounding(&entries.iter().map(|e| e.0).collect::<Vec<_>>())
+            .unwrap_or_else(Rect::empty);
+        let len = items.len();
+        let root = Self::build_node(&mut items, leaf_cap);
+        KdTree { root, len, bounds }
+    }
+
+    fn build_node(items: &mut [Entry], leaf_cap: usize) -> Node {
+        if items.len() <= leaf_cap {
+            return Node::Leaf { entries: items.to_vec() };
+        }
+        let bb = Rect::bounding(&items.iter().map(|e| e.point).collect::<Vec<_>>()).unwrap();
+        let axis: u8 = if bb.width() >= bb.height() { 0 } else { 1 };
+        let mid = items.len() / 2;
+        items.select_nth_unstable_by(mid, |a, b| {
+            let (ka, kb) =
+                if axis == 0 { (a.point.x, b.point.x) } else { (a.point.y, b.point.y) };
+            ka.partial_cmp(&kb).unwrap()
+        });
+        let coord = if axis == 0 { items[mid].point.x } else { items[mid].point.y };
+        let (lo, hi) = items.split_at_mut(mid);
+        // Guard against all-equal keys on this axis producing an empty side.
+        if lo.is_empty() || hi.is_empty() {
+            return Node::Leaf { entries: items.to_vec() };
+        }
+        Node::Split {
+            axis,
+            coord,
+            left: Box::new(Self::build_node(lo, leaf_cap)),
+            right: Box::new(Self::build_node(hi, leaf_cap)),
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of the stored points (empty rect when empty).
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// All entries inside the closed rectangle `r`.
+    pub fn range(&self, r: &Rect) -> Vec<Entry> {
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, r, &mut out);
+        out
+    }
+
+    fn range_rec(node: &Node, r: &Rect, out: &mut Vec<Entry>) {
+        match node {
+            Node::Leaf { entries } => {
+                out.extend(entries.iter().filter(|e| r.contains(e.point)).copied());
+            }
+            Node::Split { axis, coord, left, right } => {
+                let (lo, hi) = if *axis == 0 { (r.min.x, r.max.x) } else { (r.min.y, r.max.y) };
+                if lo < *coord {
+                    Self::range_rec(left, r, out);
+                }
+                if hi >= *coord {
+                    Self::range_rec(right, r, out);
+                }
+            }
+        }
+    }
+
+    /// Nearest entry to `q`, or `None` when empty.
+    pub fn nearest(&self, q: Point) -> Option<Entry> {
+        self.knn(q, 1).into_iter().next()
+    }
+
+    /// The `k` nearest entries to `q`, closest first.
+    pub fn knn(&self, q: Point, k: usize) -> Vec<Entry> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Max-heap by distance keyed as (dist2, entry).
+        let mut heap: Vec<(f64, Entry)> = Vec::with_capacity(k + 1);
+        Self::knn_rec(&self.root, q, k, &mut heap);
+        heap.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        heap.into_iter().map(|(_, e)| e).collect()
+    }
+
+    fn knn_rec(node: &Node, q: Point, k: usize, heap: &mut Vec<(f64, Entry)>) {
+        match node {
+            Node::Leaf { entries } => {
+                for &e in entries {
+                    let d = q.dist2(e.point);
+                    if heap.len() < k {
+                        heap.push((d, e));
+                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap()); // worst first
+                    } else if d < heap[0].0 {
+                        heap[0] = (d, e);
+                        heap.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                    }
+                }
+            }
+            Node::Split { axis, coord, left, right } => {
+                let key = if *axis == 0 { q.x } else { q.y };
+                let (near, far) = if key < *coord { (left, right) } else { (right, left) };
+                Self::knn_rec(near, q, k, heap);
+                let plane_d = (key - coord) * (key - coord);
+                if heap.len() < k || plane_d <= heap[0].0 {
+                    Self::knn_rec(far, q, k, heap);
+                }
+            }
+        }
+    }
+
+    /// Enumerates the entry groups at the leaves, in tree order.
+    ///
+    /// Used by the kd-tree sampling method: one representative per leaf.
+    pub fn leaves(&self) -> Vec<Vec<Entry>> {
+        let mut out = Vec::new();
+        Self::leaves_rec(&self.root, &mut out);
+        out
+    }
+
+    fn leaves_rec(node: &Node, out: &mut Vec<Vec<Entry>>) {
+        match node {
+            Node::Leaf { entries } => {
+                if !entries.is_empty() {
+                    out.push(entries.clone());
+                }
+            }
+            Node::Split { left, right, .. } => {
+                Self::leaves_rec(left, out);
+                Self::leaves_rec(right, out);
+            }
+        }
+    }
+
+    /// Depth of the tree (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + rec(left).max(rec(right)),
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, seed: u64) -> Vec<(Point, u32)> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|i| (Point::new(next() * 100.0, next() * 100.0), i as u32)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(&[], 4);
+        assert!(t.is_empty());
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert!(t.range(&Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0))).is_empty());
+        assert!(t.leaves().is_empty());
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let pts = cloud(500, 3);
+        let t = KdTree::build(&pts, 8);
+        let r = Rect::from_corners(Point::new(20.0, 30.0), Point::new(60.0, 70.0));
+        let mut got: Vec<u32> = t.range(&r).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            pts.iter().filter(|(p, _)| r.contains(*p)).map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = cloud(300, 9);
+        let t = KdTree::build(&pts, 4);
+        for qi in 0..20 {
+            let q = Point::new((qi * 7 % 100) as f64, (qi * 13 % 100) as f64);
+            let got = t.nearest(q).unwrap();
+            let want = pts
+                .iter()
+                .min_by(|a, b| q.dist2(a.0).partial_cmp(&q.dist2(b.0)).unwrap())
+                .unwrap();
+            assert!((q.dist2(got.point) - q.dist2(want.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_ordering_and_count() {
+        let pts = cloud(200, 17);
+        let t = KdTree::build(&pts, 4);
+        let q = Point::new(50.0, 50.0);
+        let got = t.knn(q, 10);
+        assert_eq!(got.len(), 10);
+        for w in got.windows(2) {
+            assert!(q.dist2(w[0].point) <= q.dist2(w[1].point));
+        }
+        // Compare against sorted brute force.
+        let mut all = pts.clone();
+        all.sort_by(|a, b| q.dist2(a.0).partial_cmp(&q.dist2(b.0)).unwrap());
+        for (g, (p, _)) in got.iter().zip(all.iter()) {
+            assert!((q.dist2(g.point) - q.dist2(*p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let pts = cloud(5, 1);
+        let t = KdTree::build(&pts, 2);
+        assert_eq!(t.knn(Point::ORIGIN, 50).len(), 5);
+        assert!(t.knn(Point::ORIGIN, 0).is_empty());
+    }
+
+    #[test]
+    fn leaves_partition_entries() {
+        let pts = cloud(300, 5);
+        let t = KdTree::build(&pts, 10);
+        let leaves = t.leaves();
+        let total: usize = leaves.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 300);
+        for l in &leaves {
+            assert!(l.len() <= 10);
+        }
+        // Roughly n / leaf_cap leaves.
+        assert!(leaves.len() >= 30);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let p = Point::new(1.0, 1.0);
+        let pts: Vec<(Point, u32)> = (0..50).map(|i| (p, i)).collect();
+        let t = KdTree::build(&pts, 4);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.range(&Rect::from_corners(Point::ORIGIN, Point::new(2.0, 2.0))).len(), 50);
+        assert_eq!(t.knn(Point::ORIGIN, 7).len(), 7);
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let pts = cloud(1024, 7);
+        let t = KdTree::build(&pts, 1);
+        assert!(t.depth() <= 2 * 11);
+    }
+}

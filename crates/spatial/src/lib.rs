@@ -1,0 +1,26 @@
+//! # stq-spatial
+//!
+//! Hierarchical and flat spatial indexes built from scratch:
+//!
+//! - [`KdTree`] — a static 2-d tree supporting nearest-neighbour, k-NN and
+//!   rectangle range queries, plus *leaf enumeration* (the paper samples one
+//!   node per kd-tree leaf, §4.3),
+//! - [`QuadTree`] — a region quadtree with the same query and leaf-sampling
+//!   surface,
+//! - [`GridIndex`] — a uniform bucket grid used for fast point location and
+//!   map matching,
+//! - [`RTree`] — a static STR-packed R-tree over rectangles (face bounding
+//!   boxes, historical query regions).
+//!
+//! All indexes store `(Point, u32)` pairs: the payload is an opaque id the
+//! callers map back to graph vertices.
+
+pub mod grid;
+pub mod kdtree;
+pub mod quadtree;
+pub mod rtree;
+
+pub use grid::GridIndex;
+pub use kdtree::KdTree;
+pub use quadtree::QuadTree;
+pub use rtree::RTree;

@@ -1,0 +1,235 @@
+//! Region quadtree over points with payloads.
+
+use crate::kdtree::Entry;
+use stq_geom::{Point, Rect};
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf { entries: Vec<Entry> },
+    Internal { children: Box<[Node; 4]> },
+}
+
+/// A region quadtree: the bounding square is recursively split into four
+/// quadrants until each leaf holds at most `leaf_cap` entries (or the maximum
+/// depth is reached, which bounds pathological duplicate-heavy inputs).
+///
+/// Supports rectangle range queries and leaf enumeration — the QuadTree
+/// sampling method of the paper (§4.3) draws one representative per leaf.
+#[derive(Clone, Debug)]
+pub struct QuadTree {
+    root: Node,
+    region: Rect,
+    len: usize,
+}
+
+const MAX_DEPTH: usize = 32;
+
+impl QuadTree {
+    /// Builds a quadtree with at most `leaf_cap` entries per leaf.
+    pub fn build(entries: &[(Point, u32)], leaf_cap: usize) -> Self {
+        let leaf_cap = leaf_cap.max(1);
+        let items: Vec<Entry> =
+            entries.iter().map(|&(point, id)| Entry { point, id }).collect();
+        let pts: Vec<Point> = entries.iter().map(|e| e.0).collect();
+        // Square region so quadrants stay square.
+        let region = match Rect::bounding(&pts) {
+            Some(bb) => {
+                let side = bb.width().max(bb.height()).max(1e-9);
+                Rect::from_corners(bb.min, bb.min + Point::new(side, side)).inflated(side * 1e-9)
+            }
+            None => Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0)),
+        };
+        let len = items.len();
+        let root = Self::build_node(items, region, leaf_cap, 0);
+        QuadTree { root, region, len }
+    }
+
+    fn quadrants(r: &Rect) -> [Rect; 4] {
+        let c = r.center();
+        [
+            Rect::from_corners(r.min, c),
+            Rect::from_corners(Point::new(c.x, r.min.y), Point::new(r.max.x, c.y)),
+            Rect::from_corners(Point::new(r.min.x, c.y), Point::new(c.x, r.max.y)),
+            Rect::from_corners(c, r.max),
+        ]
+    }
+
+    fn quadrant_of(r: &Rect, p: Point) -> usize {
+        let c = r.center();
+        match (p.x >= c.x, p.y >= c.y) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (true, true) => 3,
+        }
+    }
+
+    fn build_node(items: Vec<Entry>, region: Rect, leaf_cap: usize, depth: usize) -> Node {
+        if items.len() <= leaf_cap || depth >= MAX_DEPTH {
+            return Node::Leaf { entries: items };
+        }
+        let mut buckets: [Vec<Entry>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for e in items {
+            buckets[Self::quadrant_of(&region, e.point)].push(e);
+        }
+        let quads = Self::quadrants(&region);
+        let [b0, b1, b2, b3] = buckets;
+        let children = Box::new([
+            Self::build_node(b0, quads[0], leaf_cap, depth + 1),
+            Self::build_node(b1, quads[1], leaf_cap, depth + 1),
+            Self::build_node(b2, quads[2], leaf_cap, depth + 1),
+            Self::build_node(b3, quads[3], leaf_cap, depth + 1),
+        ]);
+        Node::Internal { children }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The (square) region covered by the root.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// All entries inside the closed rectangle `r`.
+    pub fn range(&self, r: &Rect) -> Vec<Entry> {
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, &self.region, r, &mut out);
+        out
+    }
+
+    fn range_rec(node: &Node, region: &Rect, r: &Rect, out: &mut Vec<Entry>) {
+        if !region.intersects(r) {
+            return;
+        }
+        match node {
+            Node::Leaf { entries } => {
+                out.extend(entries.iter().filter(|e| r.contains(e.point)).copied());
+            }
+            Node::Internal { children } => {
+                for (child, quad) in children.iter().zip(Self::quadrants(region)) {
+                    Self::range_rec(child, &quad, r, out);
+                }
+            }
+        }
+    }
+
+    /// Enumerates non-empty leaves along with their regions.
+    pub fn leaves(&self) -> Vec<(Rect, Vec<Entry>)> {
+        let mut out = Vec::new();
+        Self::leaves_rec(&self.root, &self.region, &mut out);
+        out
+    }
+
+    fn leaves_rec(node: &Node, region: &Rect, out: &mut Vec<(Rect, Vec<Entry>)>) {
+        match node {
+            Node::Leaf { entries } => {
+                if !entries.is_empty() {
+                    out.push((*region, entries.clone()));
+                }
+            }
+            Node::Internal { children } => {
+                for (child, quad) in children.iter().zip(Self::quadrants(region)) {
+                    Self::leaves_rec(child, &quad, out);
+                }
+            }
+        }
+    }
+
+    /// Tree depth (1 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children } => 1 + children.iter().map(rec).max().unwrap(),
+            }
+        }
+        rec(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, seed: u64) -> Vec<(Point, u32)> {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|i| (Point::new(next() * 100.0, next() * 100.0), i as u32)).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = QuadTree::build(&[], 4);
+        assert!(t.is_empty());
+        assert!(t.range(&Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0))).is_empty());
+        assert!(t.leaves().is_empty());
+    }
+
+    #[test]
+    fn range_matches_brute_force() {
+        let pts = cloud(400, 21);
+        let t = QuadTree::build(&pts, 6);
+        let r = Rect::from_corners(Point::new(10.0, 25.0), Point::new(55.0, 90.0));
+        let mut got: Vec<u32> = t.range(&r).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            pts.iter().filter(|(p, _)| r.contains(*p)).map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn leaves_partition_entries_and_regions_disjoint() {
+        let pts = cloud(256, 8);
+        let t = QuadTree::build(&pts, 8);
+        let leaves = t.leaves();
+        let total: usize = leaves.iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(total, 256);
+        for (region, entries) in &leaves {
+            assert!(entries.len() <= 8);
+            for e in entries {
+                assert!(region.inflated(1e-9).contains(e.point));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_bounded_depth() {
+        let p = Point::new(5.0, 5.0);
+        let pts: Vec<(Point, u32)> = (0..100).map(|i| (p, i)).collect();
+        let t = QuadTree::build(&pts, 2);
+        assert!(t.depth() <= MAX_DEPTH + 1);
+        assert_eq!(t.range(&Rect::from_corners(Point::ORIGIN, Point::new(10.0, 10.0))).len(), 100);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = QuadTree::build(&[(Point::new(3.0, 4.0), 7)], 4);
+        assert_eq!(t.len(), 1);
+        let got = t.range(&Rect::from_corners(Point::new(2.0, 3.0), Point::new(4.0, 5.0)));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 7);
+    }
+
+    #[test]
+    fn region_is_square() {
+        let pts = vec![(Point::new(0.0, 0.0), 0), (Point::new(10.0, 2.0), 1)];
+        let t = QuadTree::build(&pts, 1);
+        let r = t.region();
+        assert!((r.width() - r.height()).abs() < 1e-6);
+        for (p, _) in &pts {
+            assert!(r.contains(*p));
+        }
+    }
+}

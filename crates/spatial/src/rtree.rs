@@ -1,0 +1,299 @@
+//! Static R-tree with Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Rounds out the classic spatial-index family the paper discusses (§2.1,
+//! §2.3: R-trees, kd-trees, QuadTrees). The framework's own lookups use the
+//! kd-tree/grid, but the R-tree supports *rectangles* as first-class
+//! entries, which the others do not — useful for indexing face bounding
+//! boxes and historical query regions.
+
+use stq_geom::{Point, Rect};
+
+/// An indexed rectangle with an opaque payload id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RectEntry {
+    /// Indexed rectangle.
+    pub rect: Rect,
+    /// Opaque payload id.
+    pub id: u32,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf { entries: Vec<RectEntry> },
+    Internal { children: Vec<(Rect, Node)> },
+}
+
+/// A static R-tree over rectangles, STR bulk-loaded.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    root: Option<(Rect, Node)>,
+    len: usize,
+    fanout: usize,
+}
+
+impl RTree {
+    /// Bulk-loads entries with the given fanout (clamped to ≥ 2).
+    pub fn build(entries: &[(Rect, u32)], fanout: usize) -> Self {
+        let fanout = fanout.max(2);
+        let items: Vec<RectEntry> =
+            entries.iter().map(|&(rect, id)| RectEntry { rect, id }).collect();
+        let len = items.len();
+        if items.is_empty() {
+            return RTree { root: None, len: 0, fanout };
+        }
+        let leaves = Self::str_pack_leaves(items, fanout);
+        let mut level: Vec<(Rect, Node)> = leaves;
+        while level.len() > 1 {
+            level = Self::str_pack_internal(level, fanout);
+        }
+        let root = level.pop();
+        RTree { root, len, fanout }
+    }
+
+    fn mbr_of(entries: &[RectEntry]) -> Rect {
+        entries.iter().fold(Rect::empty(), |acc, e| acc.union(&e.rect))
+    }
+
+    /// STR: sort by centre x, slice into √-tiles, sort tiles by centre y,
+    /// chunk into leaves.
+    fn str_pack_leaves(mut items: Vec<RectEntry>, fanout: usize) -> Vec<(Rect, Node)> {
+        let n = items.len();
+        let leaf_count = n.div_ceil(fanout);
+        let slices = (leaf_count as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(slices.max(1));
+        items.sort_by(|a, b| {
+            a.rect.center().x.partial_cmp(&b.rect.center().x).unwrap()
+        });
+        let mut out = Vec::with_capacity(leaf_count);
+        for slice in items.chunks(slice_size.max(1)) {
+            let mut slice = slice.to_vec();
+            slice.sort_by(|a, b| {
+                a.rect.center().y.partial_cmp(&b.rect.center().y).unwrap()
+            });
+            for chunk in slice.chunks(fanout) {
+                let entries = chunk.to_vec();
+                out.push((Self::mbr_of(&entries), Node::Leaf { entries }));
+            }
+        }
+        out
+    }
+
+    fn str_pack_internal(mut nodes: Vec<(Rect, Node)>, fanout: usize) -> Vec<(Rect, Node)> {
+        let n = nodes.len();
+        let parent_count = n.div_ceil(fanout);
+        let slices = (parent_count as f64).sqrt().ceil() as usize;
+        let slice_size = n.div_ceil(slices.max(1));
+        nodes.sort_by(|a, b| a.0.center().x.partial_cmp(&b.0.center().x).unwrap());
+        let mut out = Vec::with_capacity(parent_count);
+        let mut idx = 0;
+        while idx < nodes.len() {
+            let end = (idx + slice_size).min(nodes.len());
+            let mut slice: Vec<(Rect, Node)> = nodes[idx..end].to_vec();
+            slice.sort_by(|a, b| a.0.center().y.partial_cmp(&b.0.center().y).unwrap());
+            for chunk in slice.chunks(fanout) {
+                let mbr = chunk.iter().fold(Rect::empty(), |acc, (r, _)| acc.union(r));
+                out.push((mbr, Node::Internal { children: chunk.to_vec() }));
+            }
+            idx = end;
+        }
+        out
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Root bounding box, if any entries exist.
+    pub fn bounds(&self) -> Option<Rect> {
+        self.root.as_ref().map(|(r, _)| *r)
+    }
+
+    /// All entries whose rectangle intersects `query`.
+    pub fn intersecting(&self, query: &Rect) -> Vec<RectEntry> {
+        let mut out = Vec::new();
+        if let Some((mbr, node)) = &self.root {
+            if mbr.intersects(query) {
+                Self::search(node, query, &mut out, &mut |e, q| e.rect.intersects(q));
+            }
+        }
+        out
+    }
+
+    /// All entries whose rectangle is fully contained in `query`.
+    pub fn contained_in(&self, query: &Rect) -> Vec<RectEntry> {
+        let mut out = Vec::new();
+        if let Some((mbr, node)) = &self.root {
+            if mbr.intersects(query) {
+                Self::search(node, query, &mut out, &mut |e, q| q.contains_rect(&e.rect));
+            }
+        }
+        out
+    }
+
+    /// All entries whose rectangle contains the point `p`.
+    pub fn containing_point(&self, p: Point) -> Vec<RectEntry> {
+        let q = Rect::from_corners(p, p);
+        self.intersecting(&q).into_iter().filter(|e| e.rect.contains(p)).collect()
+    }
+
+    fn search(
+        node: &Node,
+        query: &Rect,
+        out: &mut Vec<RectEntry>,
+        accept: &mut impl FnMut(&RectEntry, &Rect) -> bool,
+    ) {
+        match node {
+            Node::Leaf { entries } => {
+                out.extend(entries.iter().filter(|e| accept(e, query)).copied());
+            }
+            Node::Internal { children } => {
+                for (mbr, child) in children {
+                    if mbr.intersects(query) {
+                        Self::search(child, query, out, accept);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree height (1 = single leaf level).
+    pub fn height(&self) -> usize {
+        fn rec(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Internal { children } => {
+                    1 + children.iter().map(|(_, c)| rec(c)).max().unwrap_or(0)
+                }
+            }
+        }
+        self.root.as_ref().map(|(_, n)| rec(n)).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes(n: usize, seed: u64) -> Vec<(Rect, u32)> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let x = next() * 100.0;
+                let y = next() * 100.0;
+                let w = next() * 5.0;
+                let h = next() * 5.0;
+                (
+                    Rect::from_corners(Point::new(x, y), Point::new(x + w, y + h)),
+                    i as u32,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::build(&[], 8);
+        assert!(t.is_empty());
+        assert!(t.bounds().is_none());
+        assert!(t.intersecting(&Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0))).is_empty());
+        assert_eq!(t.height(), 0);
+    }
+
+    #[test]
+    fn intersecting_matches_brute_force() {
+        let bs = boxes(300, 7);
+        let t = RTree::build(&bs, 8);
+        let q = Rect::from_corners(Point::new(20.0, 30.0), Point::new(60.0, 70.0));
+        let mut got: Vec<u32> = t.intersecting(&q).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            bs.iter().filter(|(r, _)| r.intersects(&q)).map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert!(!want.is_empty());
+    }
+
+    #[test]
+    fn containment_matches_brute_force() {
+        let bs = boxes(300, 9);
+        let t = RTree::build(&bs, 6);
+        let q = Rect::from_corners(Point::new(10.0, 10.0), Point::new(80.0, 80.0));
+        let mut got: Vec<u32> = t.contained_in(&q).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            bs.iter().filter(|(r, _)| q.contains_rect(r)).map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn point_stabbing() {
+        let bs = boxes(200, 3);
+        let t = RTree::build(&bs, 8);
+        let p = Point::new(50.0, 50.0);
+        let mut got: Vec<u32> = t.containing_point(p).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> =
+            bs.iter().filter(|(r, _)| r.contains(p)).map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        let bs = boxes(1000, 11);
+        let t = RTree::build(&bs, 10);
+        // ceil(log10(1000/10)) + 1 = 3 levels.
+        assert!(t.height() <= 4, "height {}", t.height());
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn bounds_cover_everything() {
+        let bs = boxes(100, 13);
+        let t = RTree::build(&bs, 4);
+        let b = t.bounds().unwrap();
+        for (r, _) in &bs {
+            assert!(b.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn single_entry() {
+        let r = Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0));
+        let t = RTree::build(&[(r, 42)], 8);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.intersecting(&r)[0].id, 42);
+    }
+
+    #[test]
+    fn degenerate_rects_as_points() {
+        let pts: Vec<(Rect, u32)> = (0..50)
+            .map(|i| {
+                let p = Point::new(i as f64, (i * 7 % 13) as f64);
+                (Rect::from_corners(p, p), i as u32)
+            })
+            .collect();
+        let t = RTree::build(&pts, 5);
+        let q = Rect::from_corners(Point::new(10.0, -1.0), Point::new(20.0, 14.0));
+        let got = t.intersecting(&q);
+        let want = pts.iter().filter(|(r, _)| r.intersects(&q)).count();
+        assert_eq!(got.len(), want);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: every index answers range and nearest-neighbour queries
+//! identically to brute force, for arbitrary inputs including duplicates.
+
+use proptest::prelude::*;
+use stq_geom::{Point, Rect};
+use stq_spatial::{GridIndex, KdTree, QuadTree};
+
+fn entries() -> impl Strategy<Value = Vec<(Point, u32)>> {
+    proptest::collection::vec((-50.0f64..50.0, -50.0f64..50.0), 0..120).prop_map(|pts| {
+        pts.into_iter().enumerate().map(|(i, (x, y))| (Point::new(x, y), i as u32)).collect()
+    })
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-60.0f64..60.0, -60.0f64..60.0, -60.0f64..60.0, -60.0f64..60.0)
+        .prop_map(|(x1, y1, x2, y2)| Rect::from_corners(Point::new(x1, y1), Point::new(x2, y2)))
+}
+
+fn brute_range(es: &[(Point, u32)], r: &Rect) -> Vec<u32> {
+    let mut v: Vec<u32> = es.iter().filter(|(p, _)| r.contains(*p)).map(|&(_, id)| id).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kdtree_range_matches_brute(es in entries(), r in rect(), cap in 1usize..16) {
+        let t = KdTree::build(&es, cap);
+        let mut got: Vec<u32> = t.range(&r).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_range(&es, &r));
+    }
+
+    #[test]
+    fn quadtree_range_matches_brute(es in entries(), r in rect(), cap in 1usize..16) {
+        let t = QuadTree::build(&es, cap);
+        let mut got: Vec<u32> = t.range(&r).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_range(&es, &r));
+    }
+
+    #[test]
+    fn grid_range_matches_brute(es in entries(), r in rect(), nx in 1usize..12, ny in 1usize..12) {
+        let g = GridIndex::build(&es, nx, ny);
+        let mut got: Vec<u32> = g.range(&r).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_range(&es, &r));
+    }
+
+    #[test]
+    fn nearest_matches_brute(es in entries(), qx in -60.0f64..60.0, qy in -60.0f64..60.0) {
+        let q = Point::new(qx, qy);
+        let best = es.iter().map(|(p, _)| q.dist2(*p)).fold(f64::INFINITY, f64::min);
+        let t = KdTree::build(&es, 4);
+        let g = GridIndex::build(&es, 8, 8);
+        match (t.nearest(q), g.nearest(q)) {
+            (None, None) => prop_assert!(es.is_empty()),
+            (Some(a), Some(b)) => {
+                prop_assert!((q.dist2(a.point) - best).abs() < 1e-9);
+                prop_assert!((q.dist2(b.point) - best).abs() < 1e-9);
+            }
+            _ => prop_assert!(false, "indexes disagree on emptiness"),
+        }
+    }
+
+    #[test]
+    fn knn_is_sorted_prefix_of_brute(es in entries(), k in 1usize..20,
+                                     qx in -60.0f64..60.0, qy in -60.0f64..60.0) {
+        let q = Point::new(qx, qy);
+        let t = KdTree::build(&es, 4);
+        let got = t.knn(q, k);
+        prop_assert_eq!(got.len(), k.min(es.len()));
+        let mut dists: Vec<f64> = es.iter().map(|(p, _)| q.dist2(*p)).collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, e) in got.iter().enumerate() {
+            prop_assert!((q.dist2(e.point) - dists[i]).abs() < 1e-9, "rank {i}");
+        }
+    }
+
+    #[test]
+    fn leaves_partition(es in entries(), cap in 1usize..16) {
+        let t = KdTree::build(&es, cap);
+        let mut ids: Vec<u32> = t.leaves().into_iter().flatten().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let mut want: Vec<u32> = es.iter().map(|&(_, id)| id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(ids, want);
+
+        let qt = QuadTree::build(&es, cap);
+        let mut qids: Vec<u32> =
+            qt.leaves().into_iter().flat_map(|(_, l)| l).map(|e| e.id).collect();
+        qids.sort_unstable();
+        let mut want2: Vec<u32> = es.iter().map(|&(_, id)| id).collect();
+        want2.sort_unstable();
+        prop_assert_eq!(qids, want2);
+    }
+}

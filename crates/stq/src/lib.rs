@@ -1,0 +1,51 @@
+//! # stq — In-Network Approximate Spatiotemporal Range Queries
+//!
+//! A from-scratch Rust implementation of *"In-Network Approximate and
+//! Efficient Spatiotemporal Range Queries on Moving Objects"* (EDBT 2024):
+//! privacy-aware distinct-count queries over moving objects, answered inside
+//! the sensor network by integrating **discrete differential 1-forms** along
+//! the perimeter of a **planar-graph** query region, with **sensor
+//! placement** (sampling and submodular maximization) shrinking the set of
+//! communication sensors and **constant-size regression models** replacing
+//! per-edge timestamp logs.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under one
+//! roof and hosts the runnable examples and integration tests.
+//!
+//! ```
+//! use stq::core::prelude::*;
+//!
+//! let scenario = Scenario::build(ScenarioConfig {
+//!     junctions: 120,
+//!     mix: WorkloadMix { random_waypoint: 10, commuter: 5, transit: 5 },
+//!     ..Default::default()
+//! });
+//! let sampled = SampledGraph::unsampled(&scenario.sensing);
+//! let (q, t0, t1) = scenario.make_queries(1, 0.05, 1_000.0, 1).remove(0);
+//! let out = answer(&scenario.sensing, &sampled, &scenario.tracked.store, &q,
+//!                  QueryKind::Transient(t0, t1), Approximation::Lower);
+//! assert!(!out.miss);
+//! ```
+
+/// Euler-histogram + face-sampling baseline (paper §5.1.2).
+pub use stq_baseline as baseline;
+/// The framework: sensing graphs, tracking, sampled graphs, queries.
+pub use stq_core as core;
+/// Tracking forms and count theorems (paper §4.7).
+pub use stq_forms as forms;
+/// Plane geometry primitives and Delaunay triangulation.
+pub use stq_geom as geom;
+/// Constant-size regression models (paper §4.8).
+pub use stq_learned as learned;
+/// Road networks, trajectories, map matching (paper §3.2, §5.1).
+pub use stq_mobility as mobility;
+/// Sensor-network communication simulator (paper §4.6).
+pub use stq_net as net;
+/// Planar embeddings, duals, chains (paper §3.2–3.4).
+pub use stq_planar as planar;
+/// Query-oblivious sensor sampling (paper §4.3).
+pub use stq_sampling as sampling;
+/// kd-trees, quadtrees, grid indexes.
+pub use stq_spatial as spatial;
+/// Submodular maximization (paper §4.4).
+pub use stq_submod as submod;

@@ -1,0 +1,144 @@
+//! Property tests: the greedy approximation guarantee, lazy/naive
+//! equivalence, and atom-partition invariants on random instances.
+
+use proptest::prelude::*;
+use stq_submod::{
+    brute_force_best, cost_benefit_greedy, greedy, lazy_greedy, partition_atoms, total_gain,
+    AtomObjective, CoverageObjective, Objective,
+};
+
+fn coverage_instance() -> impl Strategy<Value = CoverageObjective> {
+    (2usize..10, 4usize..16).prop_flat_map(|(items, elements)| {
+        let covers = proptest::collection::vec(
+            proptest::collection::vec(0..elements, 1..5),
+            items..=items,
+        );
+        let weights = proptest::collection::vec(0.1f64..5.0, elements..=elements);
+        (covers, weights).prop_map(|(covers, weights)| {
+            let n = covers.len();
+            CoverageObjective::new(covers, weights, vec![1.0; n])
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The Nemhauser–Wolsey–Fisher guarantee [31]: greedy achieves at least
+    /// (1 − 1/e) of the optimum under a cardinality constraint.
+    #[test]
+    fn greedy_approximation_guarantee(obj in coverage_instance(), budget in 1usize..6) {
+        let sel = greedy(&obj, budget as f64);
+        let g = total_gain(&obj, &sel);
+        let (_, opt) = brute_force_best(&obj, budget as f64);
+        prop_assert!(g + 1e-9 >= (1.0 - 1.0 / std::f64::consts::E) * opt,
+            "greedy {g} vs opt {opt}");
+    }
+
+    #[test]
+    fn lazy_matches_naive(obj in coverage_instance(), budget in 1usize..8) {
+        let naive = greedy(&obj, budget as f64);
+        let (lazy, _) = lazy_greedy(&obj, budget as f64, false);
+        prop_assert_eq!(
+            total_gain(&obj, &naive),
+            total_gain(&obj, &lazy),
+            "selections may tie-break differently but utilities must match"
+        );
+    }
+
+    #[test]
+    fn budget_respected(obj in coverage_instance(), budget in 0usize..8) {
+        for sel in [greedy(&obj, budget as f64), cost_benefit_greedy(&obj, budget as f64)] {
+            let mut cost = 0.0;
+            let mut acc: Vec<usize> = Vec::new();
+            for &i in &sel {
+                cost += obj.cost(&acc, i);
+                acc.push(i);
+            }
+            prop_assert!(cost <= budget as f64 + 1e-9);
+            // No duplicates.
+            let mut d = sel.clone();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), sel.len());
+        }
+    }
+
+    #[test]
+    fn gain_is_diminishing(obj in coverage_instance(), item_pick in 0usize..10) {
+        // Submodularity check on the coverage objective itself: marginal
+        // gain never increases as the selection grows along greedy order.
+        let n = obj.len();
+        let item = item_pick % n;
+        let order = greedy(&obj, n as f64);
+        let mut sel: Vec<usize> = Vec::new();
+        let mut prev = f64::INFINITY;
+        for &s in order.iter().take(4) {
+            if s == item {
+                break;
+            }
+            let g = obj.gain(&sel, item);
+            prop_assert!(g <= prev + 1e-9, "gain rose from {prev} to {g}");
+            prev = g;
+            sel.push(s);
+        }
+    }
+}
+
+fn path_queries() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (6usize..25).prop_flat_map(|n| {
+        let queries = proptest::collection::vec(
+            (0..n, 1usize..6).prop_map(move |(lo, len)| {
+                (lo..(lo + len).min(n)).collect::<Vec<usize>>()
+            }),
+            1..6,
+        );
+        (Just(n), queries)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn atoms_partition_covered_junctions((n, queries) in path_queries()) {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let atoms = partition_atoms(&queries, &edges, n);
+        // Atoms are disjoint and cover exactly the queried junctions.
+        let mut seen = std::collections::HashSet::new();
+        for a in &atoms {
+            for &j in &a.junctions {
+                prop_assert!(seen.insert(j), "junction {j} in two atoms");
+            }
+        }
+        let covered: std::collections::HashSet<usize> =
+            queries.iter().flatten().copied().collect();
+        prop_assert_eq!(seen, covered);
+        // Every atom's junctions share the signature and are contained in
+        // each of its queries.
+        for a in &atoms {
+            for &q in &a.queries {
+                for &j in &a.junctions {
+                    prop_assert!(queries[q].contains(&j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_budget_gives_full_utility((n, queries) in path_queries()) {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let atoms = partition_atoms(&queries, &edges, n);
+        let sizes: Vec<usize> = queries.iter().map(|q| q.len()).collect();
+        let obj = AtomObjective::new(atoms, sizes);
+        let all: Vec<usize> = (0..obj.len()).collect();
+        // Selecting everything yields utility = number of queries (each
+        // fully covered by its atoms).
+        let total = total_gain(&obj, &all);
+        prop_assert!((total - queries.len() as f64).abs() < 1e-9,
+            "total utility {total} vs {} queries", queries.len());
+        // An unlimited greedy reaches the same utility.
+        let sel = cost_benefit_greedy(&obj, 1e9);
+        prop_assert!((total_gain(&obj, &sel) - total).abs() < 1e-9);
+    }
+}

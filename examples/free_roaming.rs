@@ -1,0 +1,121 @@
+//! Free-roaming objects over a continuous domain (paper §4.2's air/sea
+//! discussion): no road network constrains the movement, so crossings are
+//! detected geometrically against a planar subdivision, then counted with
+//! the same differential forms.
+//!
+//! ```sh
+//! cargo run --release -p stq --example free_roaming
+//! ```
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stq::core::prelude::*;
+use stq::forms::{snapshot_count, FormStore};
+use stq::geom::{triangulate, Point};
+use stq::planar::Embedding;
+
+fn main() {
+    // Sensing field: a Delaunay subdivision over 60 scattered buoys — think
+    // maritime traffic cells.
+    let mut rng = StdRng::seed_from_u64(20_24);
+    let buoys: Vec<Point> = (0..60)
+        .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+        .collect();
+    let tri = triangulate(&buoys);
+    let emb = Embedding::from_geometry(buoys, tri.edges()).expect("triangulations are plane");
+    let field = Subdivision::new(emb);
+    println!(
+        "sensing field: {} cells over {} boundary edges",
+        field.num_cells(),
+        field.num_edges()
+    );
+
+    // 25 vessels on smooth random courses, sampled every 2 s for 600 s.
+    let mut store = FormStore::new(field.num_edges());
+    let mut paths = Vec::new();
+    for _v in 0..25 {
+        let mut pos = Point::new(rng.gen_range(-10.0..110.0), rng.gen_range(-10.0..110.0));
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let speed = rng.gen_range(0.5..2.0);
+        let mut path = vec![(0.0, pos)];
+        let mut t = 0.0;
+        while t < 600.0 {
+            t += 2.0;
+            heading += rng.gen_range(-0.3..0.3);
+            pos = pos + Point::new(heading.cos(), heading.sin()) * (speed * 2.0);
+            // Bounce off the extended domain walls.
+            if !(-20.0..=120.0).contains(&pos.x) || !(-20.0..=120.0).contains(&pos.y) {
+                heading += std::f64::consts::PI;
+                pos = Point::new(pos.x.clamp(-20.0, 120.0), pos.y.clamp(-20.0, 120.0));
+            }
+            path.push((t, pos));
+        }
+        paths.push(path);
+    }
+    let mut events = 0usize;
+    // Merge all vessels' crossings time-sorted before recording.
+    let mut all: Vec<(f64, usize, bool)> = Vec::new();
+    for path in &paths {
+        for w in path.windows(2) {
+            let (t0, a) = w[0];
+            let (t1, b) = w[1];
+            for (frac, e, fwd) in field.leg_crossings(a, b) {
+                all.push((t0 + (t1 - t0) * frac, e, fwd));
+            }
+        }
+    }
+    all.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+    for &(t, e, fwd) in &all {
+        store.record(e, fwd, t);
+        events += 1;
+    }
+    println!("tracked {events} cell-boundary crossings from {} vessels", paths.len());
+
+    // Query: how many vessels are inside a patrol zone (a union of cells)?
+    // Pick the cells around the field centre.
+    let centre = Point::new(50.0, 50.0);
+    let mut zone: HashSet<usize> = HashSet::new();
+    for dx in [-12.0, 0.0, 12.0] {
+        for dy in [-12.0, 0.0, 12.0] {
+            if let Some(f) = field.locate(centre + Point::new(dx, dy)) {
+                zone.insert(f);
+            }
+        }
+    }
+    println!("patrol zone: {} cells", zone.len());
+    let boundary = field.region_boundary(&zone);
+
+    // Ground truth by locating each vessel geometrically. Note: vessels
+    // that started *inside* the zone at t=0 were never seen entering, so
+    // the forms report the population change relative to t=0 — exactly the
+    // paper's tracking semantics, where objects enter through the network
+    // boundary. Count them for calibration.
+    let initially_inside = paths
+        .iter()
+        .filter(|p| field.locate(p[0].1).map(|f| zone.contains(&f)).unwrap_or(false))
+        .count() as f64;
+
+    println!("\n t    forms  forms+init  truth");
+    for k in 1..=6 {
+        let t = 100.0 * k as f64;
+        let formed = snapshot_count(&store, &boundary, t);
+        let truth = paths
+            .iter()
+            .filter(|p| {
+                let idx = p.partition_point(|&(pt, _)| pt <= t);
+                let pos = p[idx.saturating_sub(1)].1;
+                field.locate(pos).map(|f| zone.contains(&f)).unwrap_or(false)
+            })
+            .count();
+        println!("{t:>4.0}  {formed:>5.0}  {:>10.0}  {truth:>5}", formed + initially_inside);
+        assert_eq!(
+            formed + initially_inside,
+            truth as f64,
+            "forms (plus initial calibration) must match geometric truth"
+        );
+    }
+    println!("\nvessels initially inside the zone: {initially_inside:.0}");
+    println!("every probe matched the geometric ground truth exactly.");
+}

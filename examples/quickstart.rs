@@ -1,0 +1,100 @@
+//! Quickstart: build a city, track a workload, and answer spatiotemporal
+//! range count queries on a sampled sensing graph.
+//!
+//! ```sh
+//! cargo run --release -p stq --example quickstart
+//! ```
+
+use stq::core::prelude::*;
+use stq::sampling::{sample, SamplingMethod};
+
+fn main() {
+    // 1. A synthetic city (the paper uses Beijing's road network; we
+    //    generate a Delaunay city with irregular blocks) plus a mixed
+    //    workload of random-waypoint, commuter, and transit objects.
+    let scenario = Scenario::build(ScenarioConfig {
+        junctions: 400,
+        mix: WorkloadMix { random_waypoint: 40, commuter: 30, transit: 20 },
+        ..Default::default()
+    });
+    let sensing = &scenario.sensing;
+    println!(
+        "city: {} junctions, {} roads, {} placeable sensors",
+        sensing.road().num_junctions(),
+        sensing.num_edges(),
+        sensing.num_sensors()
+    );
+    println!(
+        "workload: {} objects, {} crossing events tracked",
+        scenario.trajectories.len(),
+        scenario.tracked.num_crossings
+    );
+
+    // 2. Select 20% of sensors with QuadTree sampling and connect them by
+    //    Delaunay triangulation, materialized as shortest paths in G.
+    let cands = sensing.sensor_candidates();
+    let m = cands.len() / 5;
+    let ids = sample(SamplingMethod::QuadTree, &cands, m, 42);
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    let sampled = SampledGraph::from_sensors(sensing, &faces, Connectivity::Triangulation);
+    println!(
+        "sampled graph: {} communication sensors ({:.1}%), {} monitored links ({:.1}%)",
+        sampled.sensors().len(),
+        100.0 * sampled.size_fraction(sensing),
+        sampled.num_monitored_edges(),
+        100.0 * sampled.num_monitored_edges() as f64 / sensing.num_edges() as f64,
+    );
+
+    // 3. Ask queries: lower-bound approximate counts vs the exact answer
+    //    from the unsampled graph.
+    let queries = scenario.make_queries(5, 0.05, 4_000.0, 7);
+    for (i, (q, t0, t1)) in queries.iter().enumerate() {
+        let kind = QueryKind::Snapshot(*t0);
+        let exact = ground_truth(sensing, &scenario.tracked.store, q, kind);
+        let approx =
+            answer(sensing, &sampled, &scenario.tracked.store, q, kind, Approximation::Lower);
+        let err = relative_error(exact, approx.value)
+            .map(|e| format!("{:.1}%", e * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        println!(
+            "query {i}: snapshot@{t0:.0}  exact={exact:<5.0} approx={:<5.0} rel.err={err} \
+             ({} sensors contacted{})",
+            approx.value,
+            approx.nodes_accessed,
+            if approx.miss { ", MISS" } else { "" },
+        );
+
+        // Transient count over the window [t0, t1].
+        let tkind = QueryKind::Transient(*t0, *t1);
+        let texact = ground_truth(sensing, &scenario.tracked.store, q, tkind);
+        let tapprox =
+            answer(sensing, &sampled, &scenario.tracked.store, q, tkind, Approximation::Lower);
+        println!(
+            "         transient[{t0:.0},{t1:.0}] exact={texact:<5.0} approx={:<5.0}",
+            tapprox.value
+        );
+    }
+
+    // 4. Swap the exact per-edge timestamp logs for constant-size linear
+    //    regression models (the paper's learned store).
+    let learned = LearnedStore::fit(
+        &scenario.tracked.store,
+        Some(sampled.monitored()),
+        stq::learned::RegressorKind::Linear,
+    );
+    use stq::forms::CountSource;
+    println!(
+        "storage: exact logs {} KiB → learned models {} KiB",
+        scenario.tracked.store.storage_bytes() / 1024,
+        learned.storage_bytes().max(1024) / 1024,
+    );
+    let (q, t0, _) = &queries[0];
+    let kind = QueryKind::Snapshot(*t0);
+    let exact_store =
+        answer(sensing, &sampled, &scenario.tracked.store, q, kind, Approximation::Lower);
+    let model_store = answer(sensing, &sampled, &learned, q, kind, Approximation::Lower);
+    println!(
+        "learned-store check: exact-store {:.0} vs model-store {:.1}",
+        exact_store.value, model_store.value
+    );
+}

@@ -1,0 +1,163 @@
+//! Accuracy-trend integration tests: the qualitative shapes of the paper's
+//! evaluation (§5.2–§5.6) must hold on small instances.
+
+use stq::core::prelude::*;
+use stq::sampling::{sample, SamplingMethod};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        junctions: 300,
+        mix: WorkloadMix { random_waypoint: 40, commuter: 30, transit: 15 },
+        seed,
+        ..Default::default()
+    })
+}
+
+fn mean_lower_error(
+    s: &Scenario,
+    g: &SampledGraph,
+    queries: &[(QueryRegion, f64, f64)],
+) -> f64 {
+    let mut errs = Vec::new();
+    for (q, t0, _) in queries {
+        let kind = QueryKind::Snapshot(*t0);
+        let truth = ground_truth(&s.sensing, &s.tracked.store, q, kind);
+        let est = answer(&s.sensing, g, &s.tracked.store, q, kind, Approximation::Lower);
+        if let Some(e) = relative_error(truth, est.value) {
+            errs.push(e);
+        }
+    }
+    assert!(!errs.is_empty(), "need queries with non-zero ground truth");
+    errs.iter().sum::<f64>() / errs.len() as f64
+}
+
+fn sampled(s: &Scenario, frac: f64, method: SamplingMethod, seed: u64) -> SampledGraph {
+    let cands = s.sensing.sensor_candidates();
+    let m = ((cands.len() as f64 * frac) as usize).max(3);
+    let ids = sample(method, &cands, m, seed);
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation)
+}
+
+/// Fig. 11a/12a shape: error decreases as the sampled graph grows.
+#[test]
+fn error_decreases_with_graph_size() {
+    let s = scenario(1);
+    let queries = s.make_queries(40, 0.1, 1_500.0, 5);
+    let small = mean_lower_error(&s, &sampled(&s, 0.05, SamplingMethod::QuadTree, 3), &queries);
+    let large = mean_lower_error(&s, &sampled(&s, 0.5, SamplingMethod::QuadTree, 3), &queries);
+    assert!(
+        large < small,
+        "error must shrink with more sensors: 5% → {small:.3}, 50% → {large:.3}"
+    );
+    // The unsampled graph is exact.
+    let exact = mean_lower_error(&s, &SampledGraph::unsampled(&s.sensing), &queries);
+    assert!(exact < 1e-12);
+}
+
+/// Fig. 11b/12b shape: error decreases as the query region grows.
+#[test]
+fn error_decreases_with_query_size() {
+    let s = scenario(2);
+    let g = sampled(&s, 0.12, SamplingMethod::KdTree, 7);
+    let small_q = s.make_queries(40, 0.03, 1_500.0, 9);
+    let large_q = s.make_queries(40, 0.3, 1_500.0, 9);
+    let e_small = mean_lower_error(&s, &g, &small_q);
+    let e_large = mean_lower_error(&s, &g, &large_q);
+    assert!(
+        e_large < e_small,
+        "bigger queries are easier: 3% → {e_small:.3}, 30% → {e_large:.3}"
+    );
+}
+
+/// Fig. 13 shape: lower ≤ truth ≤ upper, and upper error also shrinks with
+/// size.
+#[test]
+fn bounds_bracket_truth() {
+    let s = scenario(3);
+    let g = sampled(&s, 0.2, SamplingMethod::QuadTree, 5);
+    let mut checked = 0;
+    for (q, t0, _) in s.make_queries(30, 0.12, 1_000.0, 17) {
+        let kind = QueryKind::Snapshot(t0);
+        let truth = ground_truth(&s.sensing, &s.tracked.store, &q, kind);
+        let lo = answer(&s.sensing, &g, &s.tracked.store, &q, kind, Approximation::Lower);
+        let hi = answer(&s.sensing, &g, &s.tracked.store, &q, kind, Approximation::Upper);
+        if !lo.miss {
+            assert!(lo.value <= truth + 1e-9, "lower bound violated");
+        }
+        if !hi.miss {
+            assert!(hi.value + 1e-9 >= truth, "upper bound violated: {} < {truth}", hi.value);
+            checked += 1;
+        }
+    }
+    assert!(checked > 0);
+}
+
+/// Fig. 13a,b shape: query misses vanish as graph or query size grows.
+#[test]
+fn misses_shrink_with_size() {
+    let s = scenario(4);
+    let queries = s.make_queries(40, 0.05, 1_000.0, 23);
+    let miss_rate = |g: &SampledGraph, qs: &[(QueryRegion, f64, f64)]| {
+        qs.iter()
+            .filter(|(q, t0, _)| {
+                answer(&s.sensing, g, &s.tracked.store, q, QueryKind::Snapshot(*t0), Approximation::Lower).miss
+            })
+            .count() as f64
+            / qs.len() as f64
+    };
+    let sparse = sampled(&s, 0.03, SamplingMethod::Uniform, 3);
+    let dense = sampled(&s, 0.4, SamplingMethod::Uniform, 3);
+    assert!(miss_rate(&dense, &queries) <= miss_rate(&sparse, &queries));
+    // Larger queries miss less on the same sparse graph.
+    let big_queries = s.make_queries(40, 0.35, 1_000.0, 23);
+    assert!(miss_rate(&sparse, &big_queries) <= miss_rate(&sparse, &queries));
+}
+
+/// §5.2: the query-adaptive submodular method beats oblivious uniform
+/// sampling at equal monitored-edge budget on in-distribution queries.
+#[test]
+fn submodular_beats_uniform_on_known_distribution() {
+    let s = scenario(5);
+    let historical = s.historical_regions(60, 0.1, 41);
+    let uniform = sampled(&s, 0.1, SamplingMethod::Uniform, 13);
+    let budget = uniform.num_monitored_edges() as f64;
+    let adaptive = SampledGraph::from_submodular(&s.sensing, &historical, budget);
+    // Evaluate on fresh queries from the same spatial distribution.
+    let queries = s.make_queries(40, 0.1, 1_000.0, 41);
+    let e_uniform = mean_lower_error(&s, &uniform, &queries);
+    let e_adaptive = mean_lower_error(&s, &adaptive, &queries);
+    assert!(
+        e_adaptive <= e_uniform + 0.05,
+        "adaptive {e_adaptive:.3} should not lose to uniform {e_uniform:.3}"
+    );
+}
+
+/// §5.4: perimeter-based sampled queries touch far fewer sensors than
+/// flooding the region, and the gap widens with query area.
+#[test]
+fn communication_savings_grow_with_area() {
+    let s = scenario(6);
+    let g = sampled(&s, 0.1, SamplingMethod::QuadTree, 19);
+    let mut ratios = Vec::new();
+    for frac in [0.05, 0.35] {
+        let queries = s.make_queries(20, frac, 1_000.0, 29);
+        let mut perimeter = 0usize;
+        let mut flood = 0usize;
+        for (q, t0, _) in &queries {
+            let out = answer(
+                &s.sensing,
+                &g,
+                &s.tracked.store,
+                q,
+                QueryKind::Snapshot(*t0),
+                Approximation::Lower,
+            );
+            perimeter += out.nodes_accessed;
+            flood += s.sensing.sensors_in_rect(&q.rect).len();
+        }
+        ratios.push(perimeter as f64 / flood.max(1) as f64);
+    }
+    assert!(ratios[1] < ratios[0], "savings must grow with area: {ratios:?}");
+    assert!(ratios[1] < 1.0);
+}

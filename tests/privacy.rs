@@ -1,0 +1,108 @@
+//! Integration tests for the differential-privacy extension across the full
+//! pipeline: private releases compose with sampled graphs and learned
+//! stores, and the accuracy predictor tracks reality.
+
+use stq::core::prelude::*;
+use stq::forms::{CountSource, PrivateCounts};
+use stq::learned::RegressorKind;
+use stq::sampling::{sample, SamplingMethod};
+
+fn scenario() -> Scenario {
+    Scenario::build(ScenarioConfig {
+        junctions: 220,
+        mix: WorkloadMix { random_waypoint: 30, commuter: 20, transit: 10 },
+        seed: 808,
+        ..Default::default()
+    })
+}
+
+fn sampled(s: &Scenario) -> SampledGraph {
+    let cands = s.sensing.sensor_candidates();
+    let ids = sample(SamplingMethod::QuadTree, &cands, cands.len() / 4, 5);
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation)
+}
+
+#[test]
+fn private_answers_track_exact_within_predicted_noise() {
+    let s = scenario();
+    let g = sampled(&s);
+    let private = PrivateCounts::new(s.tracked.store.clone(), 2.0, 1.0, 500.0, 77);
+    let mut checked = 0;
+    for (q, t0, _) in s.make_queries(20, 0.1, 1_000.0, 3) {
+        let kind = QueryKind::Snapshot(t0);
+        let exact = answer(&s.sensing, &g, &s.tracked.store, &q, kind, Approximation::Lower);
+        if exact.miss {
+            continue;
+        }
+        let noisy = answer(&s.sensing, &g, &private, &q, kind, Approximation::Lower);
+        let sd = private.expected_query_sd(exact.edges_accessed);
+        // 8-sigma bound over 20 queries: effectively never flaky.
+        assert!(
+            (noisy.value - exact.value).abs() <= 8.0 * sd + 1e-9,
+            "noise {} exceeds 8sd={}",
+            (noisy.value - exact.value).abs(),
+            8.0 * sd
+        );
+        checked += 1;
+    }
+    assert!(checked > 5, "need enough answered queries");
+}
+
+#[test]
+fn privacy_composes_with_learned_store() {
+    // The paper's two approximations stack: model inference + Laplace noise.
+    let s = scenario();
+    let g = sampled(&s);
+    let learned =
+        LearnedStore::fit(&s.tracked.store, Some(g.monitored()), RegressorKind::PiecewiseLinear(32));
+    let private = PrivateCounts::new(learned, 1.0, 1.0, 500.0, 13);
+    let (q, t0, t1) = s.make_queries(1, 0.2, 1_000.0, 9).remove(0);
+    for kind in [QueryKind::Snapshot(t0), QueryKind::Static(t0, t1), QueryKind::Transient(t0, t1)]
+    {
+        let out = answer(&s.sensing, &g, &private, &q, kind, Approximation::Lower);
+        assert!(out.value.is_finite());
+    }
+    // Storage accounting passes through to the wrapped store.
+    assert!(private.storage_bytes() > 0);
+    assert_eq!(private.storage_bytes(), private.inner().storage_bytes());
+}
+
+#[test]
+fn repeated_queries_see_identical_noise() {
+    // No averaging attack: the same release returns the same value.
+    let s = scenario();
+    let g = sampled(&s);
+    let private = PrivateCounts::new(s.tracked.store.clone(), 0.5, 1.0, 500.0, 21);
+    let (q, t0, _) = s.make_queries(1, 0.15, 1_000.0, 11).remove(0);
+    let kind = QueryKind::Snapshot(t0);
+    let a = answer(&s.sensing, &g, &private, &q, kind, Approximation::Lower);
+    let b = answer(&s.sensing, &g, &private, &q, kind, Approximation::Lower);
+    // The noise draws are identical; only float summation order over the
+    // boundary may differ between calls.
+    assert!((a.value - b.value).abs() < 1e-9, "{} vs {}", a.value, b.value);
+}
+
+#[test]
+fn tighter_epsilon_means_noisier_answers() {
+    let s = scenario();
+    let g = sampled(&s);
+    let queries = s.make_queries(15, 0.12, 1_000.0, 17);
+    let mut err_at = |eps: f64| -> f64 {
+        let private = PrivateCounts::new(s.tracked.store.clone(), eps, 1.0, 500.0, 31);
+        let mut total = 0.0;
+        for (q, t0, _) in &queries {
+            let kind = QueryKind::Snapshot(*t0);
+            let exact = answer(&s.sensing, &g, &s.tracked.store, q, kind, Approximation::Lower);
+            if exact.miss {
+                continue;
+            }
+            let noisy = answer(&s.sensing, &g, &private, q, kind, Approximation::Lower);
+            total += (noisy.value - exact.value).abs();
+        }
+        total
+    };
+    let loose = err_at(20.0);
+    let tight = err_at(0.2);
+    assert!(tight > loose * 3.0, "tight {tight} vs loose {loose}");
+}
