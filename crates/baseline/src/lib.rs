@@ -145,9 +145,10 @@ impl BaselineIndex {
         self.covered(region)
             .filter_map(|c| self.cells.get(&c))
             .map(|h| {
-                let arr = CellHist::cum(&h.arrivals, b1) as i64 - CellHist::cum(&h.arrivals, b0) as i64;
-                let dep =
-                    CellHist::cum(&h.departures, b1) as i64 - CellHist::cum(&h.departures, b0) as i64;
+                let arr =
+                    CellHist::cum(&h.arrivals, b1) as i64 - CellHist::cum(&h.arrivals, b0) as i64;
+                let dep = CellHist::cum(&h.departures, b1) as i64
+                    - CellHist::cum(&h.departures, b0) as i64;
                 arr - dep
             })
             .sum::<i64>() as f64
@@ -215,7 +216,10 @@ mod tests {
         assert!(est <= 10.0);
         assert!(est >= 0.0);
         // nodes accessed = sampled cells inside the region only.
-        assert_eq!(idx.nodes_accessed(&region), region.iter().filter(|c| idx.sampled().contains(c)).count());
+        assert_eq!(
+            idx.nodes_accessed(&region),
+            region.iter().filter(|c| idx.sampled().contains(c)).count()
+        );
     }
 
     #[test]
@@ -236,7 +240,7 @@ mod tests {
     fn static_interval_lower_bound() {
         let cells: Vec<usize> = (0..5).collect();
         let trajs = vec![
-            traj(1, &[(0.0, 2)]),          // stays forever
+            traj(1, &[(0.0, 2)]),           // stays forever
             traj(2, &[(0.0, 2), (5.0, 3)]), // leaves cell 2 at t=5
         ];
         let idx = BaselineIndex::build(&cells, &trajs, 1.0, 0.1, 1);

@@ -23,14 +23,11 @@ fn graph_build(c: &mut Criterion) {
             .into_iter()
             .map(|x| x as usize)
             .collect();
-        for (label, conn) in [
-            ("triangulation", Connectivity::Triangulation),
-            ("knn5", Connectivity::Knn(5)),
-        ] {
+        for (label, conn) in
+            [("triangulation", Connectivity::Triangulation), ("knn5", Connectivity::Knn(5))]
+        {
             group.bench_with_input(BenchmarkId::new(label, frac), &faces, |b, f| {
-                b.iter(|| {
-                    std::hint::black_box(SampledGraph::from_sensors(&s.sensing, f, conn))
-                })
+                b.iter(|| std::hint::black_box(SampledGraph::from_sensors(&s.sensing, f, conn)))
             });
         }
     }

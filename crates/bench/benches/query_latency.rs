@@ -17,13 +17,8 @@ fn bench_scenario() -> Scenario {
 
 fn query_latency(c: &mut Criterion) {
     let s = bench_scenario();
-    let sampled = build_evaluator(
-        &s,
-        Method::Sampling(stq_sampling::SamplingMethod::QuadTree),
-        0.06,
-        7,
-        &[],
-    );
+    let sampled =
+        build_evaluator(&s, Method::Sampling(stq_sampling::SamplingMethod::QuadTree), 0.06, 7, &[]);
     let unsampled = Evaluator::Graph(SampledGraph::unsampled(&s.sensing));
     let baseline = build_evaluator(&s, Method::Baseline, 0.06, 7, &[]);
 

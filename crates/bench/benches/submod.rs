@@ -14,9 +14,8 @@ fn instance(items: usize, elements: usize, seed: u64) -> CoverageObjective {
         state ^= state << 17;
         state
     };
-    let covers: Vec<Vec<usize>> = (0..items)
-        .map(|_| (0..8).map(|_| (next() % elements as u64) as usize).collect())
-        .collect();
+    let covers: Vec<Vec<usize>> =
+        (0..items).map(|_| (0..8).map(|_| (next() % elements as u64) as usize).collect()).collect();
     let weights: Vec<f64> = (0..elements).map(|e| 1.0 + (e % 7) as f64).collect();
     CoverageObjective::new(covers, weights, vec![1.0; items])
 }

@@ -153,11 +153,8 @@ fn main() {
         .filter(|&(_, &m)| m)
         .map(|(e, _)| s0.tracked.store.form(e).storage_bytes() as f64)
         .collect();
-    let learned = stq_core::LearnedStore::fit(
-        &s0.tracked.store,
-        Some(g6.monitored()),
-        RegressorKind::Linear,
-    );
+    let learned =
+        stq_core::LearnedStore::fit(&s0.tracked.store, Some(g6.monitored()), RegressorKind::Linear);
     let model_per_edge = learned.storage_bytes() as f64 / learned.num_modelled() as f64;
     let mut sorted = exact_sizes.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

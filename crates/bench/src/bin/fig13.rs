@@ -108,9 +108,8 @@ fn main() {
     );
 
     // ------------------------------------------------------------ (b) & (d)
-    let queries_b = |s: &Scenario, si: usize, area: f64| {
-        s.make_queries(30, area, 2_000.0, SEEDS[si] ^ 0x25)
-    };
+    let queries_b =
+        |s: &Scenario, si: usize, area: f64| s.make_queries(30, area, 2_000.0, SEEDS[si] ^ 0x25);
     // One evaluator per (method, scenario) at the fixed 6% size, knowing the
     // whole multi-area workload.
     let build_evs = |method: Method| -> Vec<Evaluator> {

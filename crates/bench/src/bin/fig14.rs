@@ -57,9 +57,7 @@ fn main() {
                 for (si, s) in scenarios.iter().enumerate() {
                     let ev = Evaluator::Graph(graphs[ci][si].clone());
                     let queries = s.make_queries(30, area, 2_000.0, SEEDS[si] ^ 0x61);
-                    errs.extend(relative_errors(s, &ev, &queries, |t0, _| {
-                        QueryKind::Snapshot(t0)
-                    }));
+                    errs.extend(relative_errors(s, &ev, &queries, |t0, _| QueryKind::Snapshot(t0)));
                 }
                 stats(&errs)
             })
@@ -182,7 +180,12 @@ fn main() {
         .map(|(e, _)| s0.tracked.store.form(e).storage_bytes())
         .sum();
     println!("{:>12} | {:>12} | {:>14}", "model", "bytes/edge", "vs exact");
-    println!("{:>12} | {:>12.1} | {:>13.1}%", "exact", exact_bytes as f64 / g0.num_monitored_edges() as f64, 100.0);
+    println!(
+        "{:>12} | {:>12.1} | {:>13.1}%",
+        "exact",
+        exact_bytes as f64 / g0.num_monitored_edges() as f64,
+        100.0
+    );
     for kind in &kinds {
         let learned = LearnedStore::fit(&s0.tracked.store, Some(g0.monitored()), *kind);
         println!(

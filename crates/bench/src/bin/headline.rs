@@ -166,16 +166,9 @@ fn main() {
     );
     println!(
         "{:<42} | {:>10} | {:>15.1}x  ",
-        "in-network message speedup (median)",
-        "3.5x",
-        cs.median
+        "in-network message speedup (median)", "3.5x", cs.median
     );
-    println!(
-        "{:<42} | {:>10} | {:>15.1}x  ",
-        "query CPU speedup (median)",
-        "-",
-        cpu.median
-    );
+    println!("{:<42} | {:>10} | {:>15.1}x  ", "query CPU speedup (median)", "-", cpu.median);
     println!(
         "{:<42} | {:>10} | {:>15.2}%  ",
         "storage reduction, linear models (median)",

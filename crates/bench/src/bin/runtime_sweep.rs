@@ -1,0 +1,263 @@
+//! Throughput/latency sweep of the `stq-runtime` sharded serving layer:
+//! shard-count scaling under injected in-network message delay, and a
+//! fault-rate sweep showing retry cost and graceful degradation. Emits
+//! `results/BENCH_runtime.json` plus a human-readable table.
+//!
+//! ```sh
+//! cargo run --release -p stq-bench --bin runtime_sweep [-- --quick]
+//! ```
+//!
+//! The shard-scaling rows inject a 1–2 ms delay on every shard message —
+//! the in-network regime the paper targets, where sensor-hop latency, not
+//! CPU, dominates (§4.6). A single shard serializes those waits; multiple
+//! shards overlap them, so throughput scales with shard count even on one
+//! core. The workload keeps query perimeters small (≤ 10 boundary edges)
+//! so a query touches a strict subset of the shards, exactly the
+//! perimeter ≪ region setting of §4.5.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use stq_bench::SEEDS;
+use stq_core::prelude::*;
+use stq_runtime::{FaultPlan, QuerySpec, Runtime, RuntimeConfig, ServedAnswer};
+
+/// One sweep configuration.
+struct Cell {
+    group: &'static str,
+    shards: usize,
+    dispatchers: usize,
+    drop_p: f64,
+    delay_ms: u64,
+    timeout: Duration,
+    retries: u32,
+}
+
+/// Measurements for one cell.
+struct Outcome {
+    elapsed: f64,
+    served: usize,
+    throughput: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    degraded: u64,
+    retries: u64,
+    dropped: u64,
+    mean_coverage: f64,
+}
+
+fn fault_of(cell: &Cell) -> FaultPlan {
+    let delay_p = if cell.delay_ms > 0 { 1.0 } else { 0.0 };
+    FaultPlan::lossy(SEEDS[0] ^ 0x6e, cell.drop_p, delay_p, 0.0, cell.delay_ms)
+}
+
+/// Builds the serving workload: resolvable queries with small perimeters
+/// (1–10 boundary edges), all three kinds per region.
+fn workload(s: &Scenario, g: &SampledGraph, want: usize) -> (Vec<QuerySpec>, f64) {
+    let mut specs = Vec::new();
+    let mut boundary_edges = 0usize;
+    let mut salt = 0u64;
+    while specs.len() < want * 3 && salt < 64 {
+        salt += 1;
+        for (region, t0, t1) in s.make_queries(want, 0.015, 2_000.0, SEEDS[0] ^ (0xb0 + salt)) {
+            let covered = g.resolve_lower(&region.junctions);
+            if covered.is_empty() {
+                continue;
+            }
+            let b = s.sensing.boundary_of(&covered, Some(g.monitored())).len();
+            if !(1..=10).contains(&b) {
+                continue;
+            }
+            boundary_edges += 3 * b;
+            for kind in
+                [QueryKind::Snapshot(t0), QueryKind::Transient(t0, t1), QueryKind::Static(t0, t1)]
+            {
+                specs.push(QuerySpec {
+                    region: region.clone(),
+                    kind,
+                    approx: Approximation::Lower,
+                });
+            }
+            if specs.len() >= want * 3 {
+                break;
+            }
+        }
+    }
+    assert!(!specs.is_empty(), "workload generation found no small-perimeter queries");
+    let mean_boundary = boundary_edges as f64 / specs.len() as f64;
+    (specs, mean_boundary)
+}
+
+fn run_cell(s: &Scenario, g: &SampledGraph, specs: &[QuerySpec], cell: &Cell) -> Outcome {
+    let cfg = RuntimeConfig {
+        num_shards: cell.shards,
+        dispatchers: cell.dispatchers,
+        queue_capacity: 64,
+        shard_timeout: cell.timeout,
+        max_retries: cell.retries,
+        fault: fault_of(cell),
+    };
+    let rt = Runtime::new(s.sensing.clone(), g.clone(), &s.tracked.store, cfg);
+    let start = Instant::now();
+    // Submit everything up front (backpressure comes from the bounded
+    // queue), then collect; this is the concurrent regime the runtime is
+    // built for, not a call/response loop.
+    let pending: Vec<_> = specs.iter().cloned().map(|spec| rt.submit(spec)).collect();
+    let answers: Vec<ServedAnswer> = pending.into_iter().map(|p| p.wait()).collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    let report = rt.metrics().report();
+    let covered: Vec<f64> = answers.iter().filter(|a| !a.miss).map(|a| a.coverage).collect();
+    let mean_coverage = covered.iter().sum::<f64>() / (covered.len() as f64).max(1.0);
+    rt.shutdown();
+    Outcome {
+        elapsed,
+        served: answers.len(),
+        throughput: answers.len() as f64 / elapsed,
+        p50_us: report.p50_us,
+        p95_us: report.p95_us,
+        p99_us: report.p99_us,
+        degraded: report.degraded,
+        retries: report.retries,
+        dropped: report.dropped,
+        mean_coverage,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (junctions, objects, regions, rounds) =
+        if quick { (150, 45, 12, 2) } else { (400, 150, 40, 4) };
+
+    let scenario = Scenario::build(ScenarioConfig {
+        junctions,
+        mix: WorkloadMix {
+            random_waypoint: objects / 3,
+            commuter: objects / 3,
+            transit: objects - 2 * (objects / 3),
+        },
+        seed: SEEDS[0],
+        ..Default::default()
+    });
+    let cands = scenario.sensing.sensor_candidates();
+    let ids = stq_sampling::sample(
+        stq_sampling::SamplingMethod::QuadTree,
+        &cands,
+        cands.len() / 4,
+        SEEDS[0] ^ 0x51,
+    );
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    let sampled =
+        SampledGraph::from_sensors(&scenario.sensing, &faces, Connectivity::Triangulation);
+
+    let (base, mean_boundary) = workload(&scenario, &sampled, regions);
+    let specs: Vec<QuerySpec> = (0..rounds).flat_map(|_| base.iter().cloned()).collect();
+    println!(
+        "# runtime_sweep — {} junctions, {} queries/cell, mean perimeter {:.1} edges",
+        junctions,
+        specs.len(),
+        mean_boundary
+    );
+
+    let mut cells = Vec::new();
+    for &shards in &[1usize, 2, 4, 8] {
+        cells.push(Cell {
+            group: "shard-scaling",
+            shards,
+            dispatchers: 16,
+            drop_p: 0.0,
+            delay_ms: 2,
+            timeout: Duration::from_millis(1_000),
+            retries: 1,
+        });
+    }
+    for &drop_p in &[0.0f64, 0.1, 0.3] {
+        cells.push(Cell {
+            group: "fault-rate",
+            shards: 4,
+            dispatchers: 4,
+            drop_p,
+            delay_ms: 0,
+            timeout: Duration::from_millis(10),
+            retries: 3,
+        });
+    }
+
+    println!(
+        "\n{:<14} | {:>6} | {:>5} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} | {:>6}",
+        "group", "shards", "drop", "tput q/s", "p50 µs", "p95 µs", "p99 µs", "degraded", "cover"
+    );
+    let mut json_rows = String::new();
+    let mut scaling = Vec::new();
+    for cell in &cells {
+        let o = run_cell(&scenario, &sampled, &specs, cell);
+        println!(
+            "{:<14} | {:>6} | {:>5.2} | {:>9.0} | {:>8} | {:>8} | {:>8} | {:>8} | {:>6.3}",
+            cell.group,
+            cell.shards,
+            cell.drop_p,
+            o.throughput,
+            o.p50_us,
+            o.p95_us,
+            o.p99_us,
+            o.degraded,
+            o.mean_coverage
+        );
+        if cell.group == "shard-scaling" {
+            scaling.push((cell.shards, o.throughput));
+        }
+        let _ = write!(
+            json_rows,
+            "{}    {{\"group\": \"{}\", \"shards\": {}, \"dispatchers\": {}, \"drop_p\": {}, \
+             \"delay_ms\": {}, \"queries\": {}, \"elapsed_s\": {:.4}, \"throughput_qps\": {:.1}, \
+             \"p50_us\": {}, \"p95_us\": {}, \"p99_us\": {}, \"degraded\": {}, \"retries\": {}, \
+             \"dropped\": {}, \"mean_coverage\": {:.4}}}",
+            if json_rows.is_empty() { "" } else { ",\n" },
+            cell.group,
+            cell.shards,
+            cell.dispatchers,
+            cell.drop_p,
+            cell.delay_ms,
+            o.served,
+            o.elapsed,
+            o.throughput,
+            o.p50_us,
+            o.p95_us,
+            o.p99_us,
+            o.degraded,
+            o.retries,
+            o.dropped,
+            o.mean_coverage
+        );
+    }
+
+    let single = scaling.iter().find(|(s, _)| *s == 1).map(|&(_, t)| t).unwrap_or(0.0);
+    let best = scaling.iter().cloned().max_by(|a, b| a.1.total_cmp(&b.1)).unwrap_or((1, single));
+    println!(
+        "\nshard scaling under 2ms message delay: {} shards serve {:.1}x the \
+         single-shard throughput ({:.0} vs {:.0} q/s)",
+        best.0,
+        best.1 / single.max(1e-9),
+        best.1,
+        single
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_sweep\",\n  \"quick\": {},\n  \"scenario\": \
+         {{\"junctions\": {}, \"objects\": {}, \"seed\": {}}},\n  \"workload\": \
+         {{\"queries_per_cell\": {}, \"mean_boundary_edges\": {:.2}, \"max_boundary_edges\": 10}},\n  \
+         \"scaling_speedup\": {{\"shards\": {}, \"vs_single_shard\": {:.3}}},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        quick,
+        junctions,
+        objects,
+        SEEDS[0],
+        specs.len(),
+        mean_boundary,
+        best.0,
+        best.1 / single.max(1e-9),
+        json_rows
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("wrote results/BENCH_runtime.json");
+}

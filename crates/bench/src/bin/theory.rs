@@ -42,11 +42,7 @@ fn main() {
             .collect();
         let ell = mean_path_length(&adj, 128, 0xe11);
         let sensors = s.sensing.num_sensors() as f64;
-        println!(
-            "{n:>10} | {:>10} | {ell:>8.2} | {:>12.2}",
-            sensors as usize,
-            ell / sensors.ln()
-        );
+        println!("{n:>10} | {:>10} | {ell:>8.2} | {:>12.2}", sensors as usize, ell / sensors.ln());
     }
     println!("(planar graphs are not small-world: ℓ_G grows like √N, so the");
     println!(" normalized column rises slowly — the paper's `g` is sub-linear, ✓)");
@@ -83,8 +79,10 @@ fn main() {
     let slope = fit_slope(areas.as_ref(), &flood_means);
     model.alpha = slope / model.total_sensors as f64;
 
-    println!("\n## cost vs query area (quadtree 6%, m={}, k={:.2}, ℓ_G={:.2}, α={:.2})",
-        model.m, model.k, model.ell_g, model.alpha);
+    println!(
+        "\n## cost vs query area (quadtree 6%, m={}, k={:.2}, ℓ_G={:.2}, α={:.2})",
+        model.m, model.k, model.ell_g, model.alpha
+    );
     println!(
         "{:>10} | {:>14} | {:>14} | {:>16} | {:>16}",
         "area", "flood (meas)", "flood (model)", "perimeter (meas)", "perimeter (bound)"

@@ -96,8 +96,7 @@ pub enum Method {
 impl Method {
     /// All methods, in the order the paper's legends list them.
     pub fn all() -> Vec<Method> {
-        let mut v: Vec<Method> =
-            SamplingMethod::ALL.iter().map(|&m| Method::Sampling(m)).collect();
+        let mut v: Vec<Method> = SamplingMethod::ALL.iter().map(|&m| Method::Sampling(m)).collect();
         v.push(Method::Submodular);
         v.push(Method::Baseline);
         v
@@ -203,13 +202,7 @@ pub fn build_evaluator(
         Method::Baseline => {
             let cells: Vec<usize> = s.sensing.road().junctions().collect();
             let bucket = s.config.trajectory.duration / 4096.0;
-            Evaluator::Baseline(BaselineIndex::build(
-                &cells,
-                &s.trajectories,
-                size,
-                bucket,
-                seed,
-            ))
+            Evaluator::Baseline(BaselineIndex::build(&cells, &s.trajectories, size, bucket, seed))
         }
     }
 }
@@ -240,12 +233,7 @@ pub struct EvalResult {
 }
 
 /// Evaluates one query (lower-bound approximation).
-pub fn evaluate(
-    s: &Scenario,
-    ev: &Evaluator,
-    q: &QueryRegion,
-    kind: QueryKind,
-) -> EvalResult {
+pub fn evaluate(s: &Scenario, ev: &Evaluator, q: &QueryRegion, kind: QueryKind) -> EvalResult {
     match ev {
         Evaluator::Graph(g) => {
             let out = answer(&s.sensing, g, &s.tracked.store, q, kind, Approximation::Lower);
@@ -373,8 +361,7 @@ pub fn sweep_query_areas(
                     let qs = queries(s, si, area);
                     if method == Method::Submodular {
                         let hist = regions_of(&qs);
-                        let ev =
-                            build_evaluator(s, method, graph_size, SEEDS[si] ^ 0x51, &hist);
+                        let ev = build_evaluator(s, method, graph_size, SEEDS[si] ^ 0x51, &hist);
                         errs.extend(relative_errors(s, &ev, &qs, kind_of));
                     } else {
                         errs.extend(relative_errors(s, &shared_evs[si], &qs, kind_of));

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 
 use stq_core::prelude::*;
 use stq_mobility::stats::{population_curve, WorkloadStats};
+use stq_runtime::{CrashWindow, FaultPlan, QuerySpec, Runtime, RuntimeConfig};
 use stq_sampling::SamplingMethod;
 
 /// Parsed command-line arguments: a subcommand plus `--key value` flags.
@@ -59,18 +60,15 @@ impl Args {
     /// Parses `argv` (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, CliError> {
         let mut it = argv.into_iter();
-        let command = it
-            .next()
-            .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+        let command = it.next().ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
         let mut flags = HashMap::new();
         while let Some(key) = it.next() {
             let key = key
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("expected --flag, got {key}")))?
                 .to_string();
-            let value = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
+            let value =
+                it.next().ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
             flags.insert(key, value);
         }
         Ok(Args { command, flags })
@@ -79,9 +77,9 @@ impl Args {
     fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError::Usage(format!("invalid value for --{key}: {v}"))),
+            Some(v) => {
+                v.parse().map_err(|_| CliError::Usage(format!("invalid value for --{key}: {v}")))
+            }
         }
     }
 
@@ -102,6 +100,10 @@ COMMANDS:
   deploy     select sensors, build G̃           [--method M --size F --knn K --svg FILE]
   query      answer range count queries        [--kind snapshot|static|transient
                                                 --area F --queries N --learned MODEL]
+  serve      run the sharded serving runtime   [--shards N --dispatchers N --queries N
+                                                --drop P --delay P --dup P --delay-ms MS
+                                                --crash SHARD --retries N --timeout-ms MS
+                                                --fault-seed S]
 common flags: --junctions N (600) --objects K (120) --seed S (2024)
 methods: uniform|systematic|stratified|kdtree|quadtree";
 
@@ -228,9 +230,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 Some("linear") => Some(stq_learned::RegressorKind::Linear),
                 Some("pwl") => Some(stq_learned::RegressorKind::PiecewiseLinear(16)),
                 Some("step") => Some(stq_learned::RegressorKind::Step(16)),
-                Some(other) => {
-                    return Err(CliError::Usage(format!("unknown model: {other}")))
-                }
+                Some(other) => return Err(CliError::Usage(format!("unknown model: {other}"))),
                 None => None,
             };
             let store: Box<dyn stq_forms::CountSource> = match learned {
@@ -250,13 +250,10 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     "snapshot" => QueryKind::Snapshot(*t0),
                     "static" => QueryKind::Static(*t0, *t1),
                     "transient" => QueryKind::Transient(*t0, *t1),
-                    other => {
-                        return Err(CliError::Usage(format!("unknown query kind: {other}")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown query kind: {other}"))),
                 };
                 let truth = ground_truth(&s.sensing, &s.tracked.store, q, kind);
-                let est =
-                    answer(&s.sensing, &g, store.as_ref(), q, kind, Approximation::Lower);
+                let est = answer(&s.sensing, &g, store.as_ref(), q, kind, Approximation::Lower);
                 let err = relative_error(truth, est.value)
                     .map(|e| format!("{:.1}%", e * 100.0))
                     .unwrap_or_else(|| "-".into());
@@ -268,6 +265,95 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     if est.miss { "  MISS" } else { "" }
                 )?;
             }
+            Ok(())
+        }
+        "serve" => {
+            let s = scenario_from(args)?;
+            let g = deployment_from(args, &s)?;
+            let area: f64 = args.get("area", 0.05)?;
+            let n: usize = args.get("queries", 8)?;
+            let seed: u64 = args.get("seed", 2024)?;
+            let kind_name = args.get_str("kind").unwrap_or("snapshot");
+            let drop_p: f64 = args.get("drop", 0.0)?;
+            let delay_p: f64 = args.get("delay", 0.0)?;
+            let dup_p: f64 = args.get("dup", 0.0)?;
+            let delay_ms: u64 = args.get("delay-ms", 2)?;
+            let fault_seed: u64 = args.get("fault-seed", seed)?;
+            for (flag, p) in [("drop", drop_p), ("delay", delay_p), ("dup", dup_p)] {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(CliError::Usage(format!("--{flag} must be in [0, 1]")));
+                }
+            }
+            let mut fault = FaultPlan::lossy(fault_seed, drop_p, delay_p, dup_p, delay_ms);
+            if let Some(shard) = args.get_str("crash") {
+                let node: usize = shard
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --crash shard: {shard}")))?;
+                fault = fault.with_crash(CrashWindow {
+                    node,
+                    after_messages: 0,
+                    lasts_messages: u64::MAX,
+                });
+            }
+            let shards: usize = args.get("shards", 4)?;
+            let dispatchers: usize = args.get("dispatchers", 2)?;
+            if shards == 0 || dispatchers == 0 {
+                return Err(CliError::Usage(
+                    "--shards and --dispatchers must be at least 1".into(),
+                ));
+            }
+            let cfg = RuntimeConfig {
+                num_shards: shards,
+                dispatchers,
+                shard_timeout: std::time::Duration::from_millis(args.get("timeout-ms", 20)?),
+                max_retries: args.get("retries", 2)?,
+                fault,
+                ..RuntimeConfig::default()
+            };
+            let rt = Runtime::new(s.sensing.clone(), g, &s.tracked.store, cfg);
+            let specs: Vec<QuerySpec> = s
+                .make_queries(n, area, 2_000.0, seed ^ 0x7)
+                .into_iter()
+                .map(|(region, t0, t1)| {
+                    let kind = match kind_name {
+                        "snapshot" => Ok(QueryKind::Snapshot(t0)),
+                        "static" => Ok(QueryKind::Static(t0, t1)),
+                        "transient" => Ok(QueryKind::Transient(t0, t1)),
+                        other => Err(CliError::Usage(format!("unknown query kind: {other}"))),
+                    }?;
+                    Ok(QuerySpec { region, kind, approx: Approximation::Lower })
+                })
+                .collect::<Result<_, CliError>>()?;
+            writeln!(
+                out,
+                "{:>3} | {:>10} | {:>10} | {:>10} | {:>6} | {:>5} | {:>8}",
+                "#", "answer η̂", "lower", "upper", "cover", "retry", "µs"
+            )?;
+            // Submit everything first so the queue and shard pool actually
+            // run concurrently, then collect in submission order.
+            let pending: Vec<_> = specs.into_iter().map(|spec| rt.submit(spec)).collect();
+            for (i, p) in pending.into_iter().enumerate() {
+                let a = p.wait();
+                writeln!(
+                    out,
+                    "{i:>3} | {:>10.1} | {:>10.1} | {:>10.1} | {:>6.2} | {:>5} | {:>8}{}",
+                    a.value,
+                    a.lower,
+                    a.upper,
+                    a.coverage,
+                    a.retries,
+                    a.latency.as_micros(),
+                    if a.miss {
+                        "  MISS"
+                    } else if a.degraded {
+                        "  DEGRADED"
+                    } else {
+                        ""
+                    }
+                )?;
+            }
+            writeln!(out, "{}", rt.metrics().report())?;
+            rt.shutdown();
             Ok(())
         }
         "help" | "--help" | "-h" => {
@@ -291,8 +377,8 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let a = Args::parse(["query", "--area", "0.1", "--kind", "static"].map(String::from))
-            .unwrap();
+        let a =
+            Args::parse(["query", "--area", "0.1", "--kind", "static"].map(String::from)).unwrap();
         assert_eq!(a.command, "query");
         assert_eq!(a.get::<f64>("area", 0.0).unwrap(), 0.1);
         assert_eq!(a.get_str("kind"), Some("static"));
@@ -317,15 +403,7 @@ mod tests {
 
     #[test]
     fn simulate_reports_workload() {
-        let out = run_cmd(&[
-            "simulate",
-            "--junctions",
-            "100",
-            "--objects",
-            "12",
-            "--seed",
-            "5",
-        ]);
+        let out = run_cmd(&["simulate", "--junctions", "100", "--objects", "12", "--seed", "5"]);
         assert!(out.contains("objects: 12"));
         assert!(out.contains("gini"));
         assert!(out.contains("population:"));
@@ -386,17 +464,71 @@ mod tests {
     }
 
     #[test]
+    fn serve_outputs_answers_and_metrics() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--kind",
+            "transient",
+            "--queries",
+            "4",
+            "--shards",
+            "3",
+        ]);
+        assert!(out.contains("cover"));
+        assert!(out.contains("queries 4"));
+        assert!(out.contains("latency p50"));
+        assert!(!out.contains("DEGRADED"), "fault-free serving must not degrade:\n{out}");
+    }
+
+    #[test]
+    fn serve_with_crashed_shard_reports_degradation() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--queries",
+            "4",
+            "--shards",
+            "2",
+            "--crash",
+            "0",
+            "--timeout-ms",
+            "2",
+            "--retries",
+            "1",
+        ]);
+        assert!(out.contains("DEGRADED") || out.contains("MISS"), "shard 0 is down:\n{out}");
+        assert!(out.contains("crashed"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_probability() {
+        let args = Args::parse(["serve", "--drop", "1.5"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_zero_shards() {
+        let args = Args::parse(["serve", "--shards", "0"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
     fn svg_written_to_disk() {
         let dir = std::env::temp_dir().join(format!("stq-cli-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("city.svg");
-        let out = run_cmd(&[
-            "generate",
-            "--junctions",
-            "80",
-            "--svg",
-            path.to_str().unwrap(),
-        ]);
+        let out = run_cmd(&["generate", "--junctions", "80", "--svg", path.to_str().unwrap()]);
         assert!(out.contains("wrote"));
         let svg = std::fs::read_to_string(&path).unwrap();
         assert!(svg.starts_with("<svg"));
@@ -407,8 +539,7 @@ mod tests {
     fn unknown_command_and_bad_method() {
         let args = Args::parse(["frobnicate"].map(String::from)).unwrap();
         assert!(run(&args, &mut Vec::new()).is_err());
-        let args =
-            Args::parse(["deploy", "--method", "psychic"].map(String::from)).unwrap();
+        let args = Args::parse(["deploy", "--method", "psychic"].map(String::from)).unwrap();
         assert!(run(&args, &mut Vec::new()).is_err());
     }
 

@@ -176,8 +176,7 @@ mod tests {
         });
         let cands = s.sensing.sensor_candidates();
         let m = ((cands.len() as f64 * frac) as usize).max(3);
-        let ids =
-            stq_sampling::sample(stq_sampling::SamplingMethod::QuadTree, &cands, m, 7);
+        let ids = stq_sampling::sample(stq_sampling::SamplingMethod::QuadTree, &cands, m, 7);
         let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
         let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
         (s, g)
@@ -240,14 +239,12 @@ mod tests {
         let nodes: std::collections::HashSet<usize> = topo.nodes.iter().copied().collect();
         for &sensor in g.sensors() {
             // Isolated sensors (no monitored incident link) may be absent.
-            let incident = g
-                .monitored()
-                .iter()
-                .enumerate()
-                .any(|(e, &m)| m && {
+            let incident = g.monitored().iter().enumerate().any(|(e, &m)| {
+                m && {
                     let (a, b) = s.sensing.dual().edge_faces[e];
                     a == sensor || b == sensor
-                });
+                }
+            });
             if incident {
                 assert!(nodes.contains(&sensor), "sensor {sensor} dropped");
             }
@@ -276,11 +273,7 @@ mod tests {
             seed: 1,
             ..Default::default()
         });
-        let g = SampledGraph::from_sensors(
-            &s.sensing,
-            &[],
-            Connectivity::Triangulation,
-        );
+        let g = SampledGraph::from_sensors(&s.sensing, &[], Connectivity::Triangulation);
         let topo = AbstractTopology::build(&s.sensing, &g);
         assert!(topo.chains.is_empty());
         assert_eq!(topo.total_edges(), 0);

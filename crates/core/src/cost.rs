@@ -174,12 +174,18 @@ mod tests {
     #[test]
     fn sampled_perimeter_grows_sublinearly() {
         let (s, g) = setup();
+        // Mean over *resolved* queries only: a miss reports perimeter 0,
+        // and misses concentrate at small areas, so including them deflates
+        // the small-area mean and masks the actual per-query growth rate.
         let mean_perimeter = |frac: f64| {
             let qs: Vec<QueryRegion> =
                 s.make_queries(15, frac, 100.0, 7).into_iter().map(|(q, _, _)| q).collect();
-            let measured = measure_costs(&s.sensing, &g, &qs);
-            measured.iter().map(|m| m.sampled_perimeter as f64).sum::<f64>()
-                / measured.len() as f64
+            let resolved: Vec<f64> = measure_costs(&s.sensing, &g, &qs)
+                .iter()
+                .filter(|m| m.sampled_perimeter > 0)
+                .map(|m| m.sampled_perimeter as f64)
+                .collect();
+            resolved.iter().sum::<f64>() / (resolved.len() as f64).max(1.0)
         };
         let p_small = mean_perimeter(0.05);
         let p_large = mean_perimeter(0.4);

@@ -57,9 +57,8 @@ impl Subdivision {
             .collect();
         let g = ((mids.len() as f64).sqrt().ceil() as usize).max(1);
         let edge_grid = GridIndex::build(&mids, g, g);
-        let max_edge_len = (0..emb.num_edges())
-            .map(|e| emb.edge_length(e).unwrap())
-            .fold(0.0f64, f64::max);
+        let max_edge_len =
+            (0..emb.num_edges()).map(|e| emb.edge_length(e).unwrap()).fold(0.0f64, f64::max);
         Subdivision { emb, faces, outer, polygons, edge_grid, max_edge_len }
     }
 
@@ -132,8 +131,7 @@ impl Subdivision {
                 continue;
             }
             let (u, v) = self.emb.edge_endpoints(e);
-            let seg =
-                Segment::new(self.emb.position(u).unwrap(), self.emb.position(v).unwrap());
+            let seg = Segment::new(self.emb.position(u).unwrap(), self.emb.position(v).unwrap());
             if let SegmentIntersection::Point { t, u: s, .. } = segment_intersection(&leg, &seg) {
                 // Skip grazing endpoint touches: they do not change faces.
                 if !(1e-9..=1.0 - 1e-9).contains(&s) {

@@ -117,10 +117,7 @@ mod tests {
             for &t in &[50.0, 150.0, 320.0] {
                 let e = exact.count_until(0, true, t);
                 let l = learned.count_until(0, true, t);
-                assert!(
-                    (e - l).abs() <= 12.0,
-                    "{kind:?} at t={t}: exact {e} learned {l}"
-                );
+                assert!((e - l).abs() <= 12.0, "{kind:?} at t={t}: exact {e} learned {l}");
             }
         }
     }

@@ -56,7 +56,9 @@ pub mod streaming;
 pub mod tracker;
 
 pub use learned_store::LearnedStore;
-pub use query::{answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion};
+pub use query::{
+    answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,
+};
 pub use sampled::{Connectivity, SampledGraph};
 pub use sensing::SensingGraph;
 pub use tracker::{crossings_of, ingest, Crossing, Tracked};
@@ -66,7 +68,6 @@ pub mod prelude {
     pub use crate::abstracted::AbstractTopology;
     pub use crate::cost::{measure_costs, CostModel};
     pub use crate::geometric::Subdivision;
-    pub use crate::streaming::{StreamTracker, StreamingLearnedStore};
     pub use crate::learned_store::LearnedStore;
     pub use crate::query::{
         answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,
@@ -75,6 +76,7 @@ pub mod prelude {
     pub use crate::sampled::{Connectivity, SampledGraph};
     pub use crate::scenario::{Scenario, ScenarioConfig};
     pub use crate::sensing::SensingGraph;
+    pub use crate::streaming::{StreamTracker, StreamingLearnedStore};
     pub use crate::tracker::{crossings_of, ingest, Crossing, Tracked};
     pub use stq_mobility::trajectory::{TrajectoryConfig, WorkloadMix};
 }

@@ -107,7 +107,11 @@ pub fn answer<S: CountSource + ?Sized>(
 }
 
 /// Evaluates a query kind over an explicit boundary chain.
-pub fn evaluate<S: CountSource + ?Sized>(store: &S, boundary: &[BoundaryEdge], kind: QueryKind) -> f64 {
+pub fn evaluate<S: CountSource + ?Sized>(
+    store: &S,
+    boundary: &[BoundaryEdge],
+    kind: QueryKind,
+) -> f64 {
     match kind {
         QueryKind::Snapshot(t) => snapshot_count(store, boundary, t),
         QueryKind::Static(t0, t1) => static_interval_count(store, boundary, t0, t1),
@@ -184,8 +188,7 @@ mod tests {
             assert!(!out.miss);
             let truth = ground_truth(&f.sensing, &f.tracked.store, &q, QueryKind::Snapshot(t));
             assert_eq!(out.value, truth);
-            let oracle =
-                f.tracked.oracle.snapshot_count(&|j| q.junctions.contains(&j), t) as f64;
+            let oracle = f.tracked.oracle.snapshot_count(&|j| q.junctions.contains(&j), t) as f64;
             assert_eq!(out.value, oracle);
         }
     }
@@ -256,8 +259,7 @@ mod tests {
             Approximation::Upper,
         );
         if !up.miss {
-            let truth =
-                ground_truth(&f.sensing, &f.tracked.store, &q, QueryKind::Snapshot(1000.0));
+            let truth = ground_truth(&f.sensing, &f.tracked.store, &q, QueryKind::Snapshot(1000.0));
             assert!(up.value + 1e-9 >= truth);
         }
     }
@@ -317,7 +319,10 @@ mod tests {
         );
         let oracle_static =
             f.tracked.oracle.static_interval_count(&|j| q.junctions.contains(&j), t0, t1) as f64;
-        assert!(st.value + 1e-9 >= oracle_static, "min-of-snapshots upper-bounds the true static count");
+        assert!(
+            st.value + 1e-9 >= oracle_static,
+            "min-of-snapshots upper-bounds the true static count"
+        );
         assert!(st.value >= 0.0);
     }
 
@@ -333,7 +338,10 @@ mod tests {
         let f = fixture();
         let q = QueryRegion::from_rect(
             &f.sensing,
-            Rect::from_corners(stq_geom::Point::new(-99.0, -99.0), stq_geom::Point::new(-98.0, -98.0)),
+            Rect::from_corners(
+                stq_geom::Point::new(-99.0, -99.0),
+                stq_geom::Point::new(-98.0, -98.0),
+            ),
         );
         assert!(q.is_empty());
         let g = SampledGraph::unsampled(&f.sensing);

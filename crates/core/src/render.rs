@@ -49,7 +49,9 @@ impl<'a> Scene<'a> {
             .sensing
             .map(|s| s.road().bbox())
             .or_else(|| self.sampled.map(|(s, _)| s.road().bbox()))
-            .unwrap_or_else(|| Rect::from_corners(stq_geom::Point::ORIGIN, stq_geom::Point::new(1.0, 1.0)))
+            .unwrap_or_else(|| {
+                Rect::from_corners(stq_geom::Point::ORIGIN, stq_geom::Point::new(1.0, 1.0))
+            })
             .inflated(1.0);
         let scale = self.width / bb.width().max(1e-9);
         let height = bb.height() * scale;
@@ -86,12 +88,8 @@ impl<'a> Scene<'a> {
             // Sensors.
             let _ = writeln!(svg, r##"<g fill="#999999">"##);
             for (p, _) in s.sensor_candidates() {
-                let _ = writeln!(
-                    svg,
-                    r#"<circle cx="{:.1}" cy="{:.1}" r="1.5"/>"#,
-                    tx(p.x),
-                    ty(p.y)
-                );
+                let _ =
+                    writeln!(svg, r#"<circle cx="{:.1}" cy="{:.1}" r="1.5"/>"#, tx(p.x), ty(p.y));
             }
             let _ = writeln!(svg, "</g>");
         }
@@ -167,8 +165,7 @@ mod tests {
             ..Default::default()
         });
         let cands = s.sensing.sensor_candidates();
-        let ids =
-            stq_sampling::sample(stq_sampling::SamplingMethod::Uniform, &cands, 12, 1);
+        let ids = stq_sampling::sample(stq_sampling::SamplingMethod::Uniform, &cands, 12, 1);
         let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
         let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
         (s, g)
@@ -199,8 +196,10 @@ mod tests {
         let (s, _) = setup();
         let svg = Scene::new(&s.sensing).to_svg();
         // Extract the canvas size.
-        let w: f64 = svg.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
-        let h: f64 = svg.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+        let w: f64 =
+            svg.split("width=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
+        let h: f64 =
+            svg.split("height=\"").nth(1).unwrap().split('"').next().unwrap().parse().unwrap();
         for part in svg.split("cx=\"").skip(1) {
             let x: f64 = part.split('"').next().unwrap().parse().unwrap();
             assert!(x >= -1.0 && x <= w + 1.0);

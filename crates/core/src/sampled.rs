@@ -342,12 +342,10 @@ mod tests {
         let s = sensing();
         let bb = s.road().bbox();
         // Two disjoint historical regions.
-        let q1: Vec<usize> = s
-            .junctions_in_rect(&stq_geom::Rect::from_corners(bb.min, bb.min.lerp(bb.max, 0.35)));
-        let q2: Vec<usize> = s.junctions_in_rect(&stq_geom::Rect::from_corners(
-            bb.min.lerp(bb.max, 0.6),
-            bb.max,
-        ));
+        let q1: Vec<usize> =
+            s.junctions_in_rect(&stq_geom::Rect::from_corners(bb.min, bb.min.lerp(bb.max, 0.35)));
+        let q2: Vec<usize> =
+            s.junctions_in_rect(&stq_geom::Rect::from_corners(bb.min.lerp(bb.max, 0.6), bb.max));
         assert!(!q1.is_empty() && !q2.is_empty());
         let g = SampledGraph::from_submodular(&s, &[q1.clone(), q2.clone()], 1e9);
         // With an unlimited budget both historical regions resolve exactly.

@@ -123,11 +123,7 @@ impl SensingGraph {
     /// All sensor-bearing faces with their positions — the candidate set for
     /// the sampling methods of §4.3.
     pub fn sensor_candidates(&self) -> Vec<(Point, u32)> {
-        self.sensor_pos
-            .iter()
-            .enumerate()
-            .filter_map(|(f, p)| p.map(|p| (p, f as u32)))
-            .collect()
+        self.sensor_pos.iter().enumerate().filter_map(|(f, p)| p.map(|p| (p, f as u32))).collect()
     }
 
     /// Number of placeable sensors (interior faces).

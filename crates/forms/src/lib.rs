@@ -29,8 +29,8 @@ pub use form::{CountSource, FormStore, TrackingForm};
 pub use oracle::OracleTracker;
 pub use privacy::PrivateCounts;
 pub use query::{
-    static_interval_lower_bound,
-    gross_flow, snapshot_count, static_interval_count, transient_count, BoundaryEdge,
+    gross_flow, snapshot_count, static_interval_count, static_interval_lower_bound,
+    transient_count, BoundaryEdge,
 };
 
 /// Timestamps are plain seconds; only ordering and differences matter.

@@ -29,7 +29,11 @@ impl BoundaryEdge {
 ///
 /// Exact on fully monitored graphs (certified against the oracle in tests);
 /// fractional with model-based [`CountSource`]s.
-pub fn snapshot_count<S: CountSource + ?Sized>(store: &S, boundary: &[BoundaryEdge], t: Time) -> f64 {
+pub fn snapshot_count<S: CountSource + ?Sized>(
+    store: &S,
+    boundary: &[BoundaryEdge],
+    t: Time,
+) -> f64 {
     let mut total = 0.0;
     for be in boundary {
         let inn = store.count_until(be.edge, be.inward_forward, t);
@@ -140,11 +144,8 @@ mod tests {
             BoundaryEdge::new(1, true),
             BoundaryEdge::new(2, false), // c leads out of σ in its fwd direction
         ];
-        let tau = [
-            BoundaryEdge::new(2, true),
-            BoundaryEdge::new(3, true),
-            BoundaryEdge::new(4, true),
-        ];
+        let tau =
+            [BoundaryEdge::new(2, true), BoundaryEdge::new(3, true), BoundaryEdge::new(4, true)];
 
         // Before the move.
         assert_eq!(snapshot_count(&store, &sigma, 0.5), 1.0);

@@ -2,10 +2,10 @@
 //! identifier-based oracle on randomly generated movement histories.
 
 use proptest::prelude::*;
+use stq_forms::form::CountSource;
 use stq_forms::{
     snapshot_count, transient_count, BoundaryEdge, FormStore, OracleTracker, PrivateCounts,
 };
-use stq_forms::form::CountSource;
 
 /// A random movement history on a ring of `cells` junction cells, where cell
 /// `i` borders cell `i+1 mod cells` through edge `i` (forward = towards the

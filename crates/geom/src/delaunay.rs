@@ -120,7 +120,9 @@ pub fn triangulate(points: &[Point]) -> Triangulation {
             // triangle so insertion still happens.
             for (ti, t) in tris.iter().enumerate() {
                 let (a, b, c) = (verts[t.0], verts[t.1], verts[t.2]);
-                if cross3(a, b, p) >= -1e-12 && cross3(b, c, p) >= -1e-12 && cross3(c, a, p) >= -1e-12
+                if cross3(a, b, p) >= -1e-12
+                    && cross3(b, c, p) >= -1e-12
+                    && cross3(c, a, p) >= -1e-12
                 {
                     bad.push(ti);
                     break;

@@ -234,7 +234,8 @@ mod tests {
 
     #[test]
     fn centroid_triangle() {
-        let t = Polygon::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(0.0, 3.0)]);
+        let t =
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 0.0), Point::new(0.0, 3.0)]);
         let c = t.centroid();
         assert!((c.x - 1.0).abs() < 1e-12 && (c.y - 1.0).abs() < 1e-12);
     }

@@ -101,8 +101,10 @@ mod tests {
         let c = Point::new(0.0, 1.0);
         assert!(in_circle(a, b, c, Point::new(0.5, 0.5)));
         assert!(!in_circle(a, b, c, Point::new(2.0, 2.0)));
-        // (1,1) is exactly on the circle; the strict test must reject it.
-        assert!(!in_circle(a, b, c, Point::new(1.0, 1.0 + 1e-9)) || true);
+        // (1,1) is exactly on the circle; the strict test must reject it,
+        // as it must a point just outside.
+        assert!(!in_circle(a, b, c, Point::new(1.0, 1.0)));
+        assert!(!in_circle(a, b, c, Point::new(1.0, 1.0 + 1e-9)));
     }
 
     #[test]

@@ -136,12 +136,7 @@ impl Rect {
 
     /// The four corners in counter-clockwise order starting at `min`.
     pub fn corners(&self) -> [Point; 4] {
-        [
-            self.min,
-            Point::new(self.max.x, self.min.y),
-            self.max,
-            Point::new(self.min.x, self.max.y),
-        ]
+        [self.min, Point::new(self.max.x, self.min.y), self.max, Point::new(self.min.x, self.max.y)]
     }
 }
 
@@ -196,8 +191,9 @@ mod tests {
     #[test]
     fn bounding_points() {
         assert!(Rect::bounding(&[]).is_none());
-        let r = Rect::bounding(&[Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)])
-            .unwrap();
+        let r =
+            Rect::bounding(&[Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(3.0, 2.0)])
+                .unwrap();
         assert_eq!(r.min, Point::new(-2.0, 0.0));
         assert_eq!(r.max, Point::new(3.0, 5.0));
     }

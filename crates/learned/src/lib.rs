@@ -192,9 +192,8 @@ fn solve_gauss(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let piv = (col..n).max_by(|&r1, &r2| {
-            a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap()
-        });
+        let piv =
+            (col..n).max_by(|&r1, &r2| a[r1][col].abs().partial_cmp(&a[r2][col].abs()).unwrap());
         let piv = match piv {
             Some(p) if a[p][col].abs() > 1e-12 => p,
             _ => return vec![0.0; n],
@@ -516,7 +515,7 @@ mod tests {
         let ts: Vec<f64> = (1..=100).map(|i| (i as f64).sqrt() * 10.0).collect();
         let lin = RegressorKind::Linear.fit(&ts);
         let cub = RegressorKind::Cubic.fit(&ts);
-        let mse = |m: &Box<dyn Regressor>| -> f64 {
+        let mse = |m: &dyn Regressor| -> f64 {
             ts.iter()
                 .enumerate()
                 .map(|(i, &t)| {
@@ -526,7 +525,7 @@ mod tests {
                 .sum::<f64>()
                 / ts.len() as f64
         };
-        assert!(mse(&cub) < mse(&lin), "cubic must beat linear on curved CDF");
+        assert!(mse(cub.as_ref()) < mse(lin.as_ref()), "cubic must beat linear on curved CDF");
     }
 
     #[test]

@@ -81,10 +81,7 @@ pub fn delaunay_city(
             let c = clusters[rng.gen_range(0..clusters.len())];
             let r = rng.gen_range(0.0..side * 0.12);
             let a = rng.gen_range(0.0..std::f64::consts::TAU);
-            Point::new(
-                (c.x + r * a.cos()).clamp(0.0, side),
-                (c.y + r * a.sin()).clamp(0.0, side),
-            )
+            Point::new((c.x + r * a.cos()).clamp(0.0, side), (c.y + r * a.sin()).clamp(0.0, side))
         };
         pos.push(p);
     }

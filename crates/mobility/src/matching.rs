@@ -53,8 +53,7 @@ pub fn to_gps(
     for w in traj.visits.windows(2) {
         let (t0, a) = w[0];
         let (t1, b) = w[1];
-        let (Some(pa), Some(pb)) =
-            (net.embedding().position(a), net.embedding().position(b))
+        let (Some(pa), Some(pb)) = (net.embedding().position(a), net.embedding().position(b))
         else {
             next_t = next_t.max(t1);
             continue;
@@ -82,8 +81,7 @@ pub fn map_match(net: &RoadNetwork, fixes: &[GpsFix], id: u64) -> Trajectory {
     if fixes.is_empty() {
         return Trajectory { id, visits: Vec::new() };
     }
-    let entries: Vec<(Point, u32)> =
-        net.junctions().map(|v| (net.position(v), v as u32)).collect();
+    let entries: Vec<(Point, u32)> = net.junctions().map(|v| (net.position(v), v as u32)).collect();
     let grid_n = ((entries.len() as f64).sqrt().ceil() as usize).max(1);
     let grid = GridIndex::build(&entries, grid_n, grid_n);
 

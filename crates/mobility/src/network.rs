@@ -221,7 +221,11 @@ impl RoadNetwork {
 
     /// Shortest junction path `from → to` avoiding the outside world
     /// (ramps weighted prohibitively). Returns `(vertices, edges)`.
-    pub fn shortest_path(&self, from: VertexId, to: VertexId) -> Option<(Vec<VertexId>, Vec<EdgeId>)> {
+    pub fn shortest_path(
+        &self,
+        from: VertexId,
+        to: VertexId,
+    ) -> Option<(Vec<VertexId>, Vec<EdgeId>)> {
         let adj = self.adjacency(f64::INFINITY / 4.0);
         dijkstra_to(&adj, from, to)
     }

@@ -42,8 +42,7 @@ impl WorkloadStats {
                     stats.total_distance += net.edge_length(e);
                 }
             }
-            if traj.visits.len() >= 2 && traj.visits.last().map(|&(_, v)| v) == Some(net.v_ext())
-            {
+            if traj.visits.len() >= 2 && traj.visits.last().map(|&(_, v)| v) == Some(net.v_ext()) {
                 stats.exited += 1;
             }
         }
@@ -62,15 +61,13 @@ impl WorkloadStats {
         if total <= 0.0 || n < 2.0 {
             return 0.0;
         }
-        let weighted: f64 =
-            loads.iter().enumerate().map(|(i, &l)| (i as f64 + 1.0) * l).sum();
+        let weighted: f64 = loads.iter().enumerate().map(|(i, &l)| (i as f64 + 1.0) * l).sum();
         (2.0 * weighted) / (n * total) - (n + 1.0) / n
     }
 
     /// The `k` busiest edges with their loads, descending.
     pub fn top_edges(&self, k: usize) -> Vec<(usize, usize)> {
-        let mut idx: Vec<(usize, usize)> =
-            self.edge_load.iter().copied().enumerate().collect();
+        let mut idx: Vec<(usize, usize)> = self.edge_load.iter().copied().enumerate().collect();
         idx.sort_by_key(|&(_, load)| std::cmp::Reverse(load));
         idx.truncate(k);
         idx
@@ -122,10 +119,8 @@ mod tests {
         let stats = WorkloadStats::compute(&net, &trajs);
         assert_eq!(stats.objects, 30);
         let total_legs: usize = stats.edge_load.iter().sum();
-        let expected: usize = trajs
-            .iter()
-            .map(|t| t.visits.windows(2).filter(|w| w[0].1 != w[1].1).count())
-            .sum();
+        let expected: usize =
+            trajs.iter().map(|t| t.visits.windows(2).filter(|w| w[0].1 != w[1].1).count()).sum();
         assert_eq!(total_legs, expected);
         assert!(stats.total_distance > 0.0);
         // All transit objects exit.

@@ -376,8 +376,7 @@ mod tests {
                 visits[v] += 1;
             }
         }
-        let mut sorted: Vec<usize> =
-            net.junctions().map(|v| visits[v]).collect();
+        let mut sorted: Vec<usize> = net.junctions().map(|v| visits[v]).collect();
         sorted.sort_unstable();
         let max = *sorted.last().unwrap();
         let median = sorted[sorted.len() / 2];

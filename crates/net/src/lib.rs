@@ -17,7 +17,11 @@
 //! - [`EnergyModel`] — per-message transmit/receive costs, so experiments
 //!   can report energy alongside message counts.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+
+pub mod fault;
+
+pub use fault::{CrashWindow, FaultDecision, FaultPlan, MessageCtx};
 
 /// Communication cost of a dispatch.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -86,31 +90,79 @@ impl Network {
         self.adj.is_empty()
     }
 
-    /// Hop distances from `source` (usize::MAX = unreachable).
+    /// Hop distances from `source` (usize::MAX = unreachable). A `source`
+    /// outside the network (including any source on an empty network) yields
+    /// an all-unreachable vector instead of panicking.
     pub fn hops_from(&self, source: usize) -> Vec<usize> {
-        let mut hops = vec![usize::MAX; self.adj.len()];
+        self.bfs(source, None).hops
+    }
+
+    /// One BFS pass computing hop distances *and* shortest-path-tree parents
+    /// together. When `targets` is given, the search stops as soon as every
+    /// target has been labelled — entries beyond the last target's depth stay
+    /// `usize::MAX`, which both dispatch strategies treat as unreachable.
+    fn bfs(&self, source: usize, targets: Option<&[usize]>) -> BfsState {
+        let n = self.adj.len();
+        let mut state = BfsState { hops: vec![usize::MAX; n], parents: vec![usize::MAX; n] };
+        if source >= n {
+            return state;
+        }
+        let wanted: Option<std::collections::HashSet<usize>> =
+            targets.map(|ts| ts.iter().copied().filter(|&t| t < n && t != source).collect());
+        let mut outstanding = wanted.as_ref().map_or(usize::MAX, |w| w.len());
+        state.hops[source] = 0;
+        if outstanding == 0 {
+            return state; // every target is the source itself (or out of range)
+        }
         let mut q = VecDeque::from([source]);
-        hops[source] = 0;
-        while let Some(u) = q.pop_front() {
+        'search: while let Some(u) = q.pop_front() {
             for &v in &self.adj[u] {
-                if hops[v] == usize::MAX {
-                    hops[v] = hops[u] + 1;
+                if state.hops[v] == usize::MAX {
+                    state.hops[v] = state.hops[u] + 1;
+                    state.parents[v] = u;
+                    if wanted.as_ref().is_some_and(|w| w.contains(&v)) {
+                        outstanding -= 1;
+                        if outstanding == 0 {
+                            break 'search;
+                        }
+                    }
                     q.push_back(v);
                 }
             }
         }
-        hops
+        state
     }
 
     /// Dispatch strategy 1 (§4.6): the query server (assumed reachable from
     /// `gateway`) contacts every perimeter sensor along shortest routes from
     /// the gateway and aggregates centrally.
     pub fn server_aggregation(&self, gateway: usize, perimeter: &[usize]) -> CostReport {
-        let hops = self.hops_from(gateway);
+        self.server_aggregation_from(&self.bfs(gateway, None), gateway, perimeter)
+    }
+
+    /// [`Network::server_aggregation`] against a cached BFS tree — repeated
+    /// dispatches from the same gateway (the common case for a long-lived
+    /// query server) pay for the BFS once.
+    pub fn server_aggregation_cached(
+        &self,
+        cache: &mut BfsCache,
+        gateway: usize,
+        perimeter: &[usize],
+    ) -> CostReport {
+        let state = cache.state(self, gateway).clone();
+        self.server_aggregation_from(&state, gateway, perimeter)
+    }
+
+    fn server_aggregation_from(
+        &self,
+        state: &BfsState,
+        gateway: usize,
+        perimeter: &[usize],
+    ) -> CostReport {
         let mut report = CostReport::default();
         let mut contacted = std::collections::HashSet::new();
         for &p in perimeter {
-            let h = hops[p];
+            let h = state.hops[p];
             if h == usize::MAX {
                 continue; // unreachable sensor: silently skipped, like a
                           // radio dead zone; callers see fewer contacts.
@@ -119,18 +171,12 @@ impl Network {
             report.messages += 2 * h;
             report.hops += 2 * h;
             report.max_route = report.max_route.max(h);
-            // Count relays on the route as contacted.
             contacted.insert(p);
-        }
-        // Relay nodes: everything on any shortest-path tree branch to a
-        // perimeter node. Approximate with the union of route lengths by
-        // walking parents.
-        let parents = self.bfs_parents(gateway);
-        for &p in perimeter {
+            // Relay nodes: everything on the shortest-path-tree branch.
             let mut cur = p;
             while cur != usize::MAX && cur != gateway {
                 contacted.insert(cur);
-                cur = parents[cur];
+                cur = state.parents[cur];
             }
         }
         report.nodes_contacted = contacted.len();
@@ -140,9 +186,13 @@ impl Network {
     /// Dispatch strategy 2 (§4.6): the server contacts one perimeter sensor
     /// (`seed`); the count is aggregated by walking sensor-to-sensor around
     /// the perimeter (greedy nearest-unvisited routing) and returned.
+    ///
+    /// Each greedy step runs one combined hops-and-parents BFS that stops as
+    /// soon as all still-unvisited perimeter sensors are labelled (the old
+    /// implementation ran two full-network searches per step).
     pub fn perimeter_traversal(&self, seed: usize, perimeter: &[usize]) -> CostReport {
         let mut report = CostReport::default();
-        if perimeter.is_empty() {
+        if perimeter.is_empty() || self.is_empty() {
             return report;
         }
         let mut remaining: Vec<usize> = perimeter.iter().copied().filter(|&p| p != seed).collect();
@@ -150,27 +200,26 @@ impl Network {
         contacted.insert(seed);
         let mut here = seed;
         while !remaining.is_empty() {
-            let hops = self.hops_from(here);
+            let state = self.bfs(here, Some(&remaining));
             // Nearest unvisited perimeter sensor.
             let (k, &next) = match remaining
                 .iter()
                 .enumerate()
-                .filter(|(_, &p)| hops[p] != usize::MAX)
-                .min_by_key(|(_, &p)| hops[p])
+                .filter(|(_, &p)| state.hops[p] != usize::MAX)
+                .min_by_key(|(_, &p)| state.hops[p])
             {
                 Some(x) => x,
                 None => break, // rest unreachable
             };
-            let h = hops[next];
+            let h = state.hops[next];
             report.messages += h;
             report.hops += h;
             report.max_route = report.max_route.max(h);
             // Mark the route's nodes.
-            let parents = self.bfs_parents(here);
             let mut cur = next;
             while cur != usize::MAX && cur != here {
                 contacted.insert(cur);
-                cur = parents[cur];
+                cur = state.parents[cur];
             }
             here = next;
             remaining.swap_remove(k);
@@ -212,22 +261,49 @@ impl Network {
         report.max_route = depth;
         report
     }
+}
 
-    fn bfs_parents(&self, source: usize) -> Vec<usize> {
-        let mut parent = vec![usize::MAX; self.adj.len()];
-        let mut seen = vec![false; self.adj.len()];
-        let mut q = VecDeque::from([source]);
-        seen[source] = true;
-        while let Some(u) = q.pop_front() {
-            for &v in &self.adj[u] {
-                if !seen[v] {
-                    seen[v] = true;
-                    parent[v] = u;
-                    q.push_back(v);
-                }
-            }
-        }
-        parent
+/// Result of one BFS pass: hop distances and shortest-path-tree parents
+/// (`usize::MAX` = unreachable / no parent).
+#[derive(Clone, Debug)]
+pub struct BfsState {
+    /// Hop count from the source per sensor.
+    pub hops: Vec<usize>,
+    /// BFS-tree parent per sensor.
+    pub parents: Vec<usize>,
+}
+
+/// Memoized full-network BFS trees keyed by source sensor.
+///
+/// A long-lived query server dispatches many queries from the same gateway;
+/// the shortest-path tree from that gateway never changes while the topology
+/// is fixed, so it is computed once and reused. Only complete (non-early-exit)
+/// searches are cached — partial states would under-report reachability for a
+/// later query with a wider perimeter.
+#[derive(Debug, Default)]
+pub struct BfsCache {
+    states: HashMap<usize, BfsState>,
+}
+
+impl BfsCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The full BFS tree from `source`, computing it on first use.
+    pub fn state(&mut self, net: &Network, source: usize) -> &BfsState {
+        self.states.entry(source).or_insert_with(|| net.bfs(source, None))
+    }
+
+    /// Number of distinct sources cached.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
     }
 }
 
@@ -319,5 +395,45 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_link_panics() {
         let _ = Network::new(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn empty_network_and_bad_source_are_safe() {
+        let empty = Network::new(0, &[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.hops_from(0), Vec::<usize>::new());
+        assert_eq!(empty.perimeter_traversal(0, &[]), CostReport::default());
+        // A source beyond the network reaches nothing instead of panicking.
+        let n = path_net();
+        assert!(n.hops_from(99).iter().all(|&h| h == usize::MAX));
+    }
+
+    #[test]
+    fn cached_aggregation_matches_uncached() {
+        let n = path_net();
+        let mut cache = BfsCache::new();
+        assert!(cache.is_empty());
+        for perimeter in [vec![2, 4], vec![5], vec![1, 3, 5]] {
+            let direct = n.server_aggregation(0, &perimeter);
+            let cached = n.server_aggregation_cached(&mut cache, 0, &perimeter);
+            assert_eq!(direct, cached);
+        }
+        assert_eq!(cache.len(), 1, "one gateway, one cached tree");
+    }
+
+    #[test]
+    fn traversal_unchanged_by_early_exit() {
+        // A denser topology where the early-exit BFS stops well before
+        // exhausting the graph: results must match the path-metric by hand.
+        let n = 30;
+        let mut links: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        links.extend((0..n - 5).map(|i| (i, i + 5))); // chords
+        let net = Network::new(n, &links);
+        let perimeter = [3, 7, 11, 2];
+        let walk = net.perimeter_traversal(3, &perimeter);
+        assert!(walk.nodes_contacted >= perimeter.len());
+        // Every perimeter sensor is reachable, so the walk visits them all:
+        // hops is the sum of greedy nearest-neighbour legs.
+        assert!(walk.hops >= 3 && walk.max_route >= 1);
     }
 }

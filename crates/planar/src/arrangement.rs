@@ -142,7 +142,8 @@ mod tests {
 
     #[test]
     fn shared_endpoints_merge() {
-        let g = planarize(&[seg(0.0, 0.0, 1.0, 0.0), seg(1.0, 0.0, 1.0, 1.0), seg(1.0, 1.0, 0.0, 0.0)]);
+        let g =
+            planarize(&[seg(0.0, 0.0, 1.0, 0.0), seg(1.0, 0.0, 1.0, 1.0), seg(1.0, 1.0, 0.0, 0.0)]);
         assert_eq!(g.positions.len(), 3);
         assert_eq!(g.edges.len(), 3);
     }

@@ -41,7 +41,6 @@ pub struct Faces {
     pub face_of: Vec<FaceId>,
 }
 
-
 /// Errors from embedding construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EmbeddingError {
@@ -75,7 +74,10 @@ impl std::fmt::Display for EmbeddingError {
                 write!(f, "edge {edge} references vertex {vertex} out of range")
             }
             EmbeddingError::ForeignHalfEdge { vertex, half_edge } => {
-                write!(f, "rotation of vertex {vertex} lists half-edge {half_edge} not originating there")
+                write!(
+                    f,
+                    "rotation of vertex {vertex} lists half-edge {half_edge} not originating there"
+                )
             }
             EmbeddingError::BadRotationCover => {
                 write!(f, "rotations must mention every half-edge exactly once")
@@ -438,7 +440,10 @@ impl Embedding {
             match found {
                 Some(t) => ordered.push(t),
                 None => {
-                    return Err(EmbeddingError::ForeignHalfEdge { vertex: v, half_edge: usize::MAX })
+                    return Err(EmbeddingError::ForeignHalfEdge {
+                        vertex: v,
+                        half_edge: usize::MAX,
+                    })
                 }
             }
         }
@@ -447,10 +452,10 @@ impl Embedding {
         for &(_, v, h_at_v) in &ordered {
             let ei = edges.len();
             edges.push((new_v, v)); // half-edge 2ei: new_v -> v ; 2ei+1: v -> new_v
-            // The face's angular corner at `v` lies immediately after
-            // `h_at_v` in CCW rotation order (face_next(h_prev) = h_at_v
-            // means h_at_v = rot_prev(twin(h_prev))). Inserting the new
-            // half-edge there keeps it inside `face`.
+                                    // The face's angular corner at `v` lies immediately after
+                                    // `h_at_v` in CCW rotation order (face_next(h_prev) = h_at_v
+                                    // means h_at_v = rot_prev(twin(h_prev))). Inserting the new
+                                    // half-edge there keeps it inside `face`.
             let rot = &mut rotations[v];
             let pos = rot.iter().position(|&x| x == h_at_v).expect("h in rotation");
             rot.insert(pos + 1, 2 * ei + 1);

@@ -92,7 +92,11 @@ pub fn dijkstra(adj: &WeightedAdj, source: usize) -> ShortestPaths {
 
 /// Dijkstra that stops as soon as `target` is settled; cheaper when only one
 /// path is needed.
-pub fn dijkstra_to(adj: &WeightedAdj, source: usize, target: usize) -> Option<(Vec<usize>, Vec<usize>)> {
+pub fn dijkstra_to(
+    adj: &WeightedAdj,
+    source: usize,
+    target: usize,
+) -> Option<(Vec<usize>, Vec<usize>)> {
     let n = adj.len();
     let mut dist = vec![f64::INFINITY; n];
     let mut prev = vec![(usize::MAX, usize::MAX); n];
@@ -176,7 +180,7 @@ mod tests {
     fn diamond() -> WeightedAdj {
         // 0 -1- 1 -1- 3 ; 0 -1- 2 -0.5- 3
         let mut adj: WeightedAdj = vec![Vec::new(); 4];
-        let mut add = |adj: &mut WeightedAdj, u: usize, v: usize, e: usize, w: f64| {
+        let add = |adj: &mut WeightedAdj, u: usize, v: usize, e: usize, w: f64| {
             adj[u].push((v, e, w));
             adj[v].push((u, e, w));
         };
@@ -226,8 +230,7 @@ mod tests {
     #[test]
     fn bfs_hops_ring() {
         let n = 6;
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
         let hops = bfs_hops(&adj, 0);
         assert_eq!(hops, vec![0, 1, 2, 3, 2, 1]);
     }
@@ -235,8 +238,7 @@ mod tests {
     #[test]
     fn mean_path_length_ring_reasonable() {
         let n = 32;
-        let adj: Vec<Vec<usize>> =
-            (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n, (i + n - 1) % n]).collect();
         let l = mean_path_length(&adj, 200, 7);
         // Expected mean hop distance on a 32-ring is 32/4 = 8.
         assert!(l > 5.0 && l < 11.0, "got {l}");

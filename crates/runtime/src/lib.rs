@@ -1,0 +1,38 @@
+//! # stq-runtime
+//!
+//! A concurrent, sharded query-serving runtime over the paper's tracking-form
+//! machinery — the "in-network system" of §4.6 as an actual multi-threaded
+//! dataflow instead of a cost formula.
+//!
+//! - **Sharded edge stores** — the per-edge [`stq_forms::TrackingForm`]s are
+//!   partitioned across worker threads (edge `e` on shard `e % N`). A query
+//!   resolves its region once, fans its boundary edges out to the owning
+//!   shards over channels, and re-folds the per-edge contributions in
+//!   boundary order, making full-coverage answers bit-identical to the
+//!   synchronous [`stq_core::query::evaluate`] path.
+//! - **Fault injection and graceful degradation** — a seeded
+//!   [`stq_net::FaultPlan`] drops, delays, and duplicates shard traffic and
+//!   crashes shards on schedule; the aggregator retries with exponential
+//!   backoff and, past the budget, serves widened `[lower, upper]` bounds
+//!   with an honest `coverage` fraction instead of failing.
+//! - **Observability** — a lock-cheap [`Metrics`] registry (atomic counters,
+//!   log₂ latency histogram with p50/p95/p99, bounded per-query traces).
+//!
+//! ```no_run
+//! use stq_runtime::{Runtime, RuntimeConfig, QuerySpec};
+//! # fn demo(sensing: stq_core::SensingGraph, sampled: stq_core::SampledGraph,
+//! #         store: &stq_forms::FormStore, spec: QuerySpec) {
+//! let rt = Runtime::new(sensing, sampled, store, RuntimeConfig::default());
+//! let answer = rt.query(spec);
+//! assert!(answer.lower <= answer.value && answer.value <= answer.upper);
+//! println!("{}", rt.metrics().report());
+//! # }
+//! ```
+
+pub mod metrics;
+pub mod server;
+mod shard;
+
+pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace};
+pub use server::{PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer};
+pub use stq_net::{CrashWindow, FaultDecision, FaultPlan, MessageCtx};

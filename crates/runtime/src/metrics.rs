@@ -1,0 +1,279 @@
+//! Lock-cheap observability for the serving runtime.
+//!
+//! Counters are plain relaxed atomics (queries never contend on a lock to
+//! record progress); latencies go into a log₂-bucketed histogram of
+//! microseconds, which answers p50/p95/p99 with bounded error (< 2× per
+//! bucket) at the cost of one atomic increment per sample. A small ring of
+//! per-query traces supports spot debugging without unbounded growth.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+const TRACE_CAP: usize = 256;
+const BUCKETS: usize = 64;
+
+/// One completed query, as remembered by the trace ring.
+#[derive(Clone, Debug)]
+pub struct QueryTrace {
+    /// Runtime-assigned query id.
+    pub query_id: u64,
+    /// Shards the query fanned out to.
+    pub shards: usize,
+    /// Retry rounds that were needed (0 = first attempt answered).
+    pub retries: u32,
+    /// Fraction of boundary edges that reported (1.0 = complete).
+    pub coverage: f64,
+    /// End-to-end latency in microseconds.
+    pub latency_us: u64,
+    /// Whether the answer was served from partial data.
+    pub degraded: bool,
+    /// Whether the sampled graph could not cover the region at all.
+    pub miss: bool,
+}
+
+/// Log₂-bucketed latency histogram (microseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: std::array::from_fn(|_| AtomicU64::new(0)), total: AtomicU64::new(0) }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let bucket = (u64::BITS - micros.leading_zeros()) as usize; // log2(x)+1, 0 → 0
+        self.counts[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The upper edge (µs) of the bucket holding the `q`-quantile sample,
+    /// or 0 when empty. `q` is clamped to [0, 1].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.len();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if b == 0 { 0 } else { 1u64 << b }; // bucket b holds [2^(b-1), 2^b)
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// The runtime's metric registry. All methods are callable from any thread
+/// without blocking queries behind each other.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Queries completed (including misses and degraded answers).
+    pub queries: AtomicU64,
+    /// Queries the sampled graph could not cover.
+    pub misses: AtomicU64,
+    /// Queries answered from partial shard data.
+    pub degraded: AtomicU64,
+    /// Shard requests sent (fan-out messages, including retries).
+    pub shard_requests: AtomicU64,
+    /// Requests a shard handled successfully.
+    pub shard_served: AtomicU64,
+    /// Requests lost to injected message drops.
+    pub dropped: AtomicU64,
+    /// Requests that were delivered late.
+    pub delayed: AtomicU64,
+    /// Responses that were duplicated in flight.
+    pub duplicated: AtomicU64,
+    /// Requests swallowed by a crashed shard.
+    pub crash_dropped: AtomicU64,
+    /// Retry rounds issued after a timeout.
+    pub retries: AtomicU64,
+    /// Attempt windows that expired with shards still silent.
+    pub timeouts: AtomicU64,
+    /// End-to-end query latency.
+    pub latency: Histogram,
+    traces: Mutex<VecDeque<QueryTrace>>,
+}
+
+impl Metrics {
+    /// A fresh registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience relaxed increment.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience relaxed add.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a completed query's trace (evicting the oldest past capacity).
+    pub fn trace(&self, t: QueryTrace) {
+        let mut ring = self.traces.lock();
+        if ring.len() == TRACE_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(t);
+    }
+
+    /// A copy of the most recent traces, oldest first.
+    pub fn recent_traces(&self) -> Vec<QueryTrace> {
+        self.traces.lock().iter().cloned().collect()
+    }
+
+    /// A point-in-time snapshot for reporting.
+    pub fn report(&self) -> MetricsReport {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsReport {
+            queries: load(&self.queries),
+            misses: load(&self.misses),
+            degraded: load(&self.degraded),
+            shard_requests: load(&self.shard_requests),
+            shard_served: load(&self.shard_served),
+            dropped: load(&self.dropped),
+            delayed: load(&self.delayed),
+            duplicated: load(&self.duplicated),
+            crash_dropped: load(&self.crash_dropped),
+            retries: load(&self.retries),
+            timeouts: load(&self.timeouts),
+            p50_us: self.latency.quantile_us(0.50),
+            p95_us: self.latency.quantile_us(0.95),
+            p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// A frozen snapshot of [`Metrics`], cheap to copy around and print.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// See [`Metrics::queries`].
+    pub queries: u64,
+    /// See [`Metrics::misses`].
+    pub misses: u64,
+    /// See [`Metrics::degraded`].
+    pub degraded: u64,
+    /// See [`Metrics::shard_requests`].
+    pub shard_requests: u64,
+    /// See [`Metrics::shard_served`].
+    pub shard_served: u64,
+    /// See [`Metrics::dropped`].
+    pub dropped: u64,
+    /// See [`Metrics::delayed`].
+    pub delayed: u64,
+    /// See [`Metrics::duplicated`].
+    pub duplicated: u64,
+    /// See [`Metrics::crash_dropped`].
+    pub crash_dropped: u64,
+    /// See [`Metrics::retries`].
+    pub retries: u64,
+    /// See [`Metrics::timeouts`].
+    pub timeouts: u64,
+    /// Median latency bucket edge (µs).
+    pub p50_us: u64,
+    /// 95th-percentile latency bucket edge (µs).
+    pub p95_us: u64,
+    /// 99th-percentile latency bucket edge (µs).
+    pub p99_us: u64,
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queries {} (miss {}, degraded {})", self.queries, self.misses, self.degraded)?;
+        writeln!(
+            f,
+            "shard requests {} (served {}, dropped {}, delayed {}, duplicated {}, crashed {})",
+            self.shard_requests,
+            self.shard_served,
+            self.dropped,
+            self.delayed,
+            self.duplicated,
+            self.crash_dropped
+        )?;
+        writeln!(f, "retry rounds {}, timeout windows {}", self.retries, self.timeouts)?;
+        write!(f, "latency p50 {}us p95 {}us p99 {}us", self.p50_us, self.p95_us, self.p99_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 3, 100, 200, 100_000] {
+            h.record(us);
+        }
+        assert_eq!(h.len(), 6);
+        // p50 of {1,2,3,100,200,100000}: 3rd sample = 3 → bucket edge 4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p99 lands in the largest sample's bucket: 2^17 = 131072 ≥ 100000.
+        assert_eq!(h.quantile_us(0.99), 131_072);
+        assert!(h.quantile_us(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::default();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile_us(0.99), 0);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(TRACE_CAP as u64 + 50) {
+            m.trace(QueryTrace {
+                query_id: i,
+                shards: 1,
+                retries: 0,
+                coverage: 1.0,
+                latency_us: 10,
+                degraded: false,
+                miss: false,
+            });
+        }
+        let traces = m.recent_traces();
+        assert_eq!(traces.len(), TRACE_CAP);
+        assert_eq!(traces[0].query_id, 50, "oldest entries evicted first");
+    }
+
+    #[test]
+    fn report_snapshot_and_display() {
+        let m = Metrics::new();
+        Metrics::bump(&m.queries);
+        Metrics::add(&m.shard_requests, 4);
+        m.latency.record(900);
+        let r = m.report();
+        assert_eq!(r.queries, 1);
+        assert_eq!(r.shard_requests, 4);
+        assert_eq!(r.p50_us, 1024);
+        let text = r.to_string();
+        assert!(text.contains("queries 1"));
+        assert!(text.contains("p50 1024us"));
+    }
+}

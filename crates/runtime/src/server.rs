@@ -1,0 +1,423 @@
+//! The sharded query-serving runtime: submission queue, dispatchers,
+//! fan-out/aggregation, timeouts, retries, and graceful degradation.
+//!
+//! ## Dataflow
+//!
+//! ```text
+//! submit() ─▶ bounded job queue ─▶ dispatcher threads
+//!                                     │ resolve region, boundary_of
+//!                                     ├─▶ shard 0 ─┐ per-edge counts
+//!                                     ├─▶ shard 1 ─┤ (crossbeam channels)
+//!                                     └─▶ shard k ─┘
+//!                                     ▼ re-fold in boundary order
+//!                                 ServedAnswer
+//! ```
+//!
+//! ## Exactness and degradation
+//!
+//! Shards return per-edge contributions tagged with their position in the
+//! boundary chain; the aggregator folds them **in boundary order**, so with
+//! full coverage the result is bit-identical to the synchronous
+//! `stq_core::query::evaluate` fold (floating-point addition happens in the
+//! same order on the same terms). When shards stay silent past the retry
+//! budget, each missing edge's contribution is replaced by its worst-case
+//! interval `[−total_outward, +total_inward]` (edge-lifetime crossing totals
+//! cached at startup), which provably brackets the synchronous value; the
+//! answer then carries `lower`/`upper` bounds, a `coverage < 1`, and the
+//! `degraded` flag.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use stq_core::query::{Approximation, QueryKind, QueryRegion};
+use stq_core::sampled::SampledGraph;
+use stq_core::sensing::SensingGraph;
+use stq_forms::{BoundaryEdge, FormStore, TrackingForm};
+use stq_net::FaultPlan;
+
+use crate::metrics::{Metrics, QueryTrace};
+use crate::shard::{EdgeCounts, ShardRequest, ShardResponse, ShardWorker};
+
+/// Tuning knobs of the runtime.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Worker threads owning disjoint slices of the edge stores (≥ 1).
+    pub num_shards: usize,
+    /// Threads resolving regions and aggregating shard answers (≥ 1).
+    pub dispatchers: usize,
+    /// Capacity of the submission queue; `submit` blocks when it is full
+    /// (backpressure instead of unbounded buffering).
+    pub queue_capacity: usize,
+    /// How long the aggregator waits for shards on the first attempt; each
+    /// retry doubles the window (exponential backoff).
+    pub shard_timeout: Duration,
+    /// Retry rounds after the first attempt before degrading.
+    pub max_retries: u32,
+    /// Fault injection applied to shard traffic.
+    pub fault: FaultPlan,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            num_shards: 4,
+            dispatchers: 2,
+            queue_capacity: 64,
+            shard_timeout: Duration::from_millis(20),
+            max_retries: 2,
+            fault: FaultPlan::none(),
+        }
+    }
+}
+
+/// One query to serve.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    /// The spatial region.
+    pub region: QueryRegion,
+    /// Snapshot / Static / Transient and its time arguments.
+    pub kind: QueryKind,
+    /// Lower (`R₂`) or upper (`R₁`) region resolution.
+    pub approx: Approximation,
+}
+
+/// The runtime's answer to one query.
+#[derive(Clone, Debug)]
+pub struct ServedAnswer {
+    /// Runtime-assigned query id (matches the metrics trace).
+    pub query_id: u64,
+    /// The count estimate. With `coverage == 1.0` this equals the
+    /// synchronous `evaluate` fold exactly; degraded answers fill missing
+    /// edges with 0 and are bracketed by `lower`/`upper`.
+    pub value: f64,
+    /// Sound lower bound on the synchronous value.
+    pub lower: f64,
+    /// Sound upper bound on the synchronous value.
+    pub upper: f64,
+    /// Fraction of boundary edges that reported (1.0 = complete).
+    pub coverage: f64,
+    /// The sampled graph could not cover the region (value is 0).
+    pub miss: bool,
+    /// True when served from partial data (`coverage < 1.0`).
+    pub degraded: bool,
+    /// Shards the query fanned out to.
+    pub shards: usize,
+    /// Retry rounds that were needed.
+    pub retries: u32,
+    /// End-to-end latency.
+    pub latency: Duration,
+}
+
+/// A handle to an in-flight query.
+pub struct PendingAnswer(Receiver<ServedAnswer>);
+
+impl PendingAnswer {
+    /// Blocks until the answer is served.
+    ///
+    /// # Panics
+    /// If the runtime was shut down before serving the query.
+    pub fn wait(self) -> ServedAnswer {
+        self.0.recv().expect("runtime shut down with query in flight")
+    }
+}
+
+struct Job {
+    id: u64,
+    spec: QuerySpec,
+    reply: Sender<ServedAnswer>,
+}
+
+struct ServerState {
+    sensing: SensingGraph,
+    sampled: SampledGraph,
+    /// Per-edge lifetime crossing totals `(forward, backward)` — the
+    /// degradation bounds for silent shards.
+    totals: Vec<(f64, f64)>,
+    cfg: RuntimeConfig,
+    to_shards: Vec<Sender<ShardRequest>>,
+    metrics: Arc<Metrics>,
+}
+
+/// A running sharded query server over one deployment.
+pub struct Runtime {
+    metrics: Arc<Metrics>,
+    state: Option<Arc<ServerState>>,
+    jobs: Option<Sender<Job>>,
+    dispatcher_threads: Vec<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Runtime {
+    /// Builds the runtime: partitions `store`'s per-edge tracking forms
+    /// across `cfg.num_shards` worker threads (edge `e` lives on shard
+    /// `e % num_shards`) and starts the dispatcher pool.
+    pub fn new(
+        sensing: SensingGraph,
+        sampled: SampledGraph,
+        store: &FormStore,
+        cfg: RuntimeConfig,
+    ) -> Self {
+        assert!(cfg.num_shards >= 1, "need at least one shard");
+        assert!(cfg.dispatchers >= 1, "need at least one dispatcher");
+        let metrics = Arc::new(Metrics::new());
+
+        let mut parts: Vec<HashMap<usize, TrackingForm>> =
+            (0..cfg.num_shards).map(|_| HashMap::new()).collect();
+        let mut totals = Vec::with_capacity(store.num_edges());
+        for e in 0..store.num_edges() {
+            let form = store.form(e);
+            totals.push((form.total(true) as f64, form.total(false) as f64));
+            parts[e % cfg.num_shards].insert(e, form.clone());
+        }
+
+        let mut shard_threads = Vec::with_capacity(cfg.num_shards);
+        let mut to_shards = Vec::with_capacity(cfg.num_shards);
+        for (i, forms) in parts.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded::<ShardRequest>();
+            to_shards.push(tx);
+            let worker = ShardWorker::new(i, forms, cfg.fault.clone(), Arc::clone(&metrics));
+            let handle = std::thread::Builder::new()
+                .name(format!("stq-shard-{i}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn shard worker");
+            shard_threads.push(handle);
+        }
+
+        let state = Arc::new(ServerState {
+            sensing,
+            sampled,
+            totals,
+            cfg: cfg.clone(),
+            to_shards,
+            metrics: Arc::clone(&metrics),
+        });
+        let (jobs_tx, jobs_rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
+        let mut dispatcher_threads = Vec::with_capacity(cfg.dispatchers);
+        for d in 0..cfg.dispatchers {
+            let st = Arc::clone(&state);
+            let rx = jobs_rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("stq-dispatch-{d}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        serve(&st, job);
+                    }
+                })
+                .expect("spawn dispatcher");
+            dispatcher_threads.push(handle);
+        }
+
+        Runtime {
+            metrics,
+            state: Some(state),
+            jobs: Some(jobs_tx),
+            dispatcher_threads,
+            shard_threads,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The live metric registry (valid before and after shutdown).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Enqueues a query; blocks only when the submission queue is full.
+    pub fn submit(&self, spec: QuerySpec) -> PendingAnswer {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        assert!(
+            self.jobs
+                .as_ref()
+                .expect("runtime is running")
+                .send(Job { id, spec, reply: tx })
+                .is_ok(),
+            "dispatcher pool alive"
+        );
+        PendingAnswer(rx)
+    }
+
+    /// Serves one query synchronously.
+    pub fn query(&self, spec: QuerySpec) -> ServedAnswer {
+        self.submit(spec).wait()
+    }
+
+    /// Drains in-flight work and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // 1. Close the submission queue: dispatchers drain and exit.
+        self.jobs = None;
+        for h in self.dispatcher_threads.drain(..) {
+            let _ = h.join();
+        }
+        // 2. Drop the last owner of the shard senders: shards drain and exit.
+        self.state = None;
+        for h in self.shard_threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve(st: &ServerState, job: Job) {
+    let start = Instant::now();
+    let answer = compute(st, job.id, &job.spec, start);
+    let m = &st.metrics;
+    m.latency.record(answer.latency.as_micros() as u64);
+    Metrics::bump(&m.queries);
+    if answer.miss {
+        Metrics::bump(&m.misses);
+    }
+    if answer.degraded {
+        Metrics::bump(&m.degraded);
+    }
+    m.trace(QueryTrace {
+        query_id: answer.query_id,
+        shards: answer.shards,
+        retries: answer.retries,
+        coverage: answer.coverage,
+        latency_us: answer.latency.as_micros() as u64,
+        degraded: answer.degraded,
+        miss: answer.miss,
+    });
+    // The client may have given up on the PendingAnswer; that's fine.
+    let _ = job.reply.send(answer);
+}
+
+fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> ServedAnswer {
+    let covered = match spec.approx {
+        Approximation::Lower => st.sampled.resolve_lower(&spec.region.junctions),
+        Approximation::Upper => st.sampled.resolve_upper(&spec.region.junctions),
+    };
+    if covered.is_empty() {
+        return ServedAnswer {
+            query_id: id,
+            value: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+            coverage: 0.0,
+            miss: true,
+            degraded: false,
+            shards: 0,
+            retries: 0,
+            latency: start.elapsed(),
+        };
+    }
+    let boundary = st.sensing.boundary_of(&covered, Some(st.sampled.monitored()));
+
+    // Fan out: group boundary edges by owning shard, tagged with their
+    // position in the chain so the aggregate fold preserves term order.
+    let ns = st.cfg.num_shards;
+    let mut pending: HashMap<usize, Vec<(usize, BoundaryEdge)>> = HashMap::new();
+    for (idx, &be) in boundary.iter().enumerate() {
+        pending.entry(be.edge % ns).or_default().push((idx, be));
+    }
+    let fanout = pending.len();
+    let mut slots: Vec<Option<EdgeCounts>> = vec![None; boundary.len()];
+    let (tx, rx) = channel::unbounded::<ShardResponse>();
+    let mut retries_used = 0u32;
+
+    for attempt in 0..=st.cfg.max_retries {
+        for (&shard, edges) in &pending {
+            Metrics::bump(&st.metrics.shard_requests);
+            let _ = st.to_shards[shard].send(ShardRequest {
+                query_id: id,
+                attempt,
+                kind: spec.kind,
+                edges: edges.clone(),
+                reply: tx.clone(),
+            });
+        }
+        // Exponential backoff: attempt k waits 2^k × the base window.
+        let deadline = Instant::now() + st.cfg.shard_timeout * (1u32 << attempt);
+        while !pending.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(resp) => {
+                    // First response per shard wins; duplicates and answers
+                    // from superseded attempts are ignored.
+                    if pending.remove(&resp.shard).is_some() {
+                        for c in resp.counts {
+                            slots[c.idx] = Some(c);
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        if pending.is_empty() {
+            break;
+        }
+        Metrics::bump(&st.metrics.timeouts);
+        if attempt < st.cfg.max_retries {
+            retries_used += 1;
+            Metrics::bump(&st.metrics.retries);
+        }
+    }
+
+    // Aggregate in boundary order. A reported edge contributes its exact
+    // terms; a missing edge contributes 0 to the estimate and its lifetime
+    // worst case `[−total_out, +total_in]` to the bounds.
+    let mut answered = 0usize;
+    let (mut est_a, mut lo_a, mut hi_a) = (0.0f64, 0.0f64, 0.0f64);
+    let (mut est_b, mut lo_b, mut hi_b) = (0.0f64, 0.0f64, 0.0f64);
+    for (idx, &be) in boundary.iter().enumerate() {
+        match slots[idx] {
+            Some(c) => {
+                answered += 1;
+                est_a += c.a;
+                lo_a += c.a;
+                hi_a += c.a;
+                est_b += c.b;
+                lo_b += c.b;
+                hi_b += c.b;
+            }
+            None => {
+                let (fwd, bwd) = st.totals[be.edge];
+                let (total_in, total_out) = if be.inward_forward { (fwd, bwd) } else { (bwd, fwd) };
+                lo_a -= total_out;
+                hi_a += total_in;
+                lo_b -= total_out;
+                hi_b += total_in;
+            }
+        }
+    }
+    let coverage = if boundary.is_empty() { 1.0 } else { answered as f64 / boundary.len() as f64 };
+    let (value, lower, upper) = match spec.kind {
+        QueryKind::Snapshot(_) | QueryKind::Transient(..) => (est_a, lo_a, hi_a),
+        // min and max(0, ·) are monotone, so applying them to the endpoint
+        // bounds keeps lower ≤ exact ≤ upper.
+        QueryKind::Static(..) => {
+            (est_a.min(est_b).max(0.0), lo_a.min(lo_b).max(0.0), hi_a.min(hi_b).max(0.0))
+        }
+    };
+
+    ServedAnswer {
+        query_id: id,
+        value,
+        lower,
+        upper,
+        coverage,
+        miss: false,
+        degraded: coverage < 1.0,
+        shards: fanout,
+        retries: retries_used,
+        latency: start.elapsed(),
+    }
+}

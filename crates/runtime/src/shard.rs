@@ -1,0 +1,130 @@
+//! Shard workers: each owns the tracking forms of the edges assigned to it
+//! and answers per-edge boundary contributions for the aggregator.
+//!
+//! The arithmetic here deliberately mirrors `stq_forms::query` term by term
+//! (`count_until` differences folded as `f64`), so that an aggregator which
+//! re-folds the per-edge contributions in boundary order reproduces the
+//! synchronous path bit for bit — see `crate::server`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use stq_core::query::QueryKind;
+use stq_forms::{BoundaryEdge, TrackingForm};
+use stq_net::{FaultPlan, MessageCtx};
+
+use crate::metrics::Metrics;
+
+/// A fan-out request: the boundary edges of one query that this shard owns,
+/// tagged with their position in the full boundary chain.
+pub(crate) struct ShardRequest {
+    pub query_id: u64,
+    pub attempt: u32,
+    pub kind: QueryKind,
+    pub edges: Vec<(usize, BoundaryEdge)>,
+    pub reply: Sender<ShardResponse>,
+}
+
+/// A shard's answer: one contribution per requested edge.
+#[derive(Clone, Debug)]
+pub(crate) struct ShardResponse {
+    pub shard: usize,
+    pub counts: Vec<EdgeCounts>,
+}
+
+/// Per-edge boundary contribution, keyed by position in the boundary chain.
+///
+/// For `Snapshot` and `Transient` only `a` is used (the net inward count at
+/// the query instant / over the window). For `Static`, `a` and `b` are the
+/// net inward counts at the interval's two endpoints.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EdgeCounts {
+    pub idx: usize,
+    pub a: f64,
+    pub b: f64,
+}
+
+/// The worker-side state of one shard.
+pub(crate) struct ShardWorker {
+    id: usize,
+    forms: HashMap<usize, TrackingForm>,
+    plan: FaultPlan,
+    delivered: u64,
+    metrics: Arc<Metrics>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        id: usize,
+        forms: HashMap<usize, TrackingForm>,
+        plan: FaultPlan,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        ShardWorker { id, forms, plan, delivered: 0, metrics }
+    }
+
+    /// Serves requests until every sender is gone (runtime shutdown).
+    pub(crate) fn run(mut self, rx: Receiver<ShardRequest>) {
+        while let Ok(req) = rx.recv() {
+            self.handle(req);
+        }
+    }
+
+    fn handle(&mut self, req: ShardRequest) {
+        let seen = self.delivered;
+        self.delivered += 1;
+        if self.plan.is_crashed(self.id, seen) {
+            Metrics::bump(&self.metrics.crash_dropped);
+            return; // a crashed sensor neither computes nor replies
+        }
+        let fate = self.plan.decide(MessageCtx {
+            query_id: req.query_id,
+            node: self.id,
+            attempt: req.attempt,
+        });
+        if fate.drop {
+            Metrics::bump(&self.metrics.dropped);
+            return;
+        }
+        if fate.delay_ms > 0 {
+            Metrics::bump(&self.metrics.delayed);
+            // One radio message per perimeter sensor in the request: the
+            // hold-up scales with the payload this shard must collect, and
+            // it blocks the whole shard, like a congested radio.
+            std::thread::sleep(
+                Duration::from_millis(fate.delay_ms) * req.edges.len().max(1) as u32,
+            );
+        }
+        let counts =
+            req.edges.iter().map(|&(idx, be)| self.contribution(idx, be, req.kind)).collect();
+        let response = ShardResponse { shard: self.id, counts };
+        Metrics::bump(&self.metrics.shard_served);
+        if fate.duplicate {
+            Metrics::bump(&self.metrics.duplicated);
+            let _ = req.reply.send(response.clone());
+        }
+        // The aggregator may have timed out and dropped the receiver; a
+        // failed send is simply a late answer nobody is waiting for.
+        let _ = req.reply.send(response);
+    }
+
+    fn contribution(&self, idx: usize, be: BoundaryEdge, kind: QueryKind) -> EdgeCounts {
+        let form = &self.forms[&be.edge];
+        // `count_until` as f64, matching `FormStore`'s `CountSource` impl.
+        let cu = |forward: bool, t: f64| form.count_until(forward, t) as f64;
+        let net_at = |t: f64| cu(be.inward_forward, t) - cu(!be.inward_forward, t);
+        match kind {
+            QueryKind::Snapshot(t) => EdgeCounts { idx, a: net_at(t), b: 0.0 },
+            QueryKind::Transient(t0, t1) => {
+                // count_between(inward) − count_between(outward), each as the
+                // f64 difference of count_untils (the CountSource default).
+                let inn = cu(be.inward_forward, t1) - cu(be.inward_forward, t0);
+                let out = cu(!be.inward_forward, t1) - cu(!be.inward_forward, t0);
+                EdgeCounts { idx, a: inn - out, b: 0.0 }
+            }
+            QueryKind::Static(t0, t1) => EdgeCounts { idx, a: net_at(t0), b: net_at(t1) },
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end tests of the sharded serving runtime: exact parity with the
+//! synchronous query path, fault recovery, degradation, and metrics.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use stq_core::prelude::*;
+use stq_core::query::evaluate;
+use stq_forms::FormStore;
+use stq_runtime::{CrashWindow, FaultPlan, QuerySpec, Runtime, RuntimeConfig, ServedAnswer};
+
+struct Fixture {
+    scenario: Scenario,
+    sampled: SampledGraph,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let scenario = Scenario::build(ScenarioConfig {
+            junctions: 180,
+            mix: WorkloadMix { random_waypoint: 20, commuter: 12, transit: 6 },
+            seed: 41,
+            ..Default::default()
+        });
+        let cands = scenario.sensing.sensor_candidates();
+        let ids = stq_sampling::sample(
+            stq_sampling::SamplingMethod::QuadTree,
+            &cands,
+            cands.len() / 4,
+            7,
+        );
+        let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+        let sampled =
+            SampledGraph::from_sensors(&scenario.sensing, &faces, Connectivity::Triangulation);
+        Fixture { scenario, sampled }
+    })
+}
+
+fn store(f: &Fixture) -> &FormStore {
+    &f.scenario.tracked.store
+}
+
+fn runtime(f: &Fixture, cfg: RuntimeConfig) -> Runtime {
+    Runtime::new(f.scenario.sensing.clone(), f.sampled.clone(), store(f), cfg)
+}
+
+/// The value the runtime must reproduce when coverage is complete: the
+/// synchronous resolve → boundary → evaluate path.
+fn sync_value(f: &Fixture, spec: &QuerySpec) -> Option<f64> {
+    let covered = match spec.approx {
+        Approximation::Lower => f.sampled.resolve_lower(&spec.region.junctions),
+        Approximation::Upper => f.sampled.resolve_upper(&spec.region.junctions),
+    };
+    if covered.is_empty() {
+        return None;
+    }
+    let boundary = f.scenario.sensing.boundary_of(&covered, Some(f.sampled.monitored()));
+    Some(evaluate(store(f), &boundary, spec.kind))
+}
+
+fn specs(f: &Fixture, n: usize, frac: f64, seed: u64) -> Vec<QuerySpec> {
+    f.scenario
+        .make_queries(n, frac, 1_500.0, seed)
+        .into_iter()
+        .flat_map(|(region, t0, t1)| {
+            [QueryKind::Snapshot(t0), QueryKind::Transient(t0, t1), QueryKind::Static(t0, t1)]
+                .into_iter()
+                .map(move |kind| QuerySpec {
+                    region: region.clone(),
+                    kind,
+                    approx: Approximation::Lower,
+                })
+        })
+        .collect()
+}
+
+#[test]
+fn fault_free_answers_are_bit_identical_to_sync_path() {
+    let f = fixture();
+    for shards in [1, 3, 5] {
+        let rt = runtime(
+            f,
+            RuntimeConfig { num_shards: shards, dispatchers: 2, ..RuntimeConfig::default() },
+        );
+        for spec in specs(f, 8, 0.15, 17) {
+            let served = rt.query(spec.clone());
+            match sync_value(f, &spec) {
+                None => assert!(served.miss),
+                Some(exact) => {
+                    assert!(!served.miss);
+                    assert_eq!(served.coverage, 1.0);
+                    assert!(!served.degraded);
+                    assert_eq!(
+                        served.value.to_bits(),
+                        exact.to_bits(),
+                        "shards={shards} kind={:?}: {} vs sync {exact}",
+                        spec.kind,
+                        served.value
+                    );
+                    assert_eq!(served.lower.to_bits(), served.upper.to_bits());
+                }
+            }
+        }
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_submissions_all_complete() {
+    let f = fixture();
+    let rt =
+        runtime(f, RuntimeConfig { num_shards: 4, dispatchers: 3, ..RuntimeConfig::default() });
+    let all = specs(f, 10, 0.12, 29);
+    let expected: Vec<Option<f64>> = all.iter().map(|s| sync_value(f, s)).collect();
+    let pending: Vec<_> = all.iter().cloned().map(|s| rt.submit(s)).collect();
+    let answers: Vec<ServedAnswer> = pending.into_iter().map(|p| p.wait()).collect();
+    for (a, e) in answers.iter().zip(&expected) {
+        match e {
+            None => assert!(a.miss),
+            Some(exact) => assert_eq!(a.value.to_bits(), exact.to_bits()),
+        }
+    }
+    // Distinct ids, all traced, all counted.
+    let mut ids: Vec<u64> = answers.iter().map(|a| a.query_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), all.len());
+    let report = rt.metrics().report();
+    assert_eq!(report.queries, all.len() as u64);
+    assert_eq!(report.degraded, 0);
+    assert!(report.shard_requests >= report.queries - report.misses);
+    assert_eq!(rt.metrics().latency.len(), all.len() as u64);
+}
+
+#[test]
+fn crashed_shard_degrades_with_sound_bounds() {
+    let f = fixture();
+    let cfg = RuntimeConfig {
+        num_shards: 3,
+        dispatchers: 2,
+        shard_timeout: Duration::from_millis(4),
+        max_retries: 1,
+        fault: FaultPlan::none().with_crash(CrashWindow {
+            node: 0,
+            after_messages: 0,
+            lasts_messages: u64::MAX,
+        }),
+        ..RuntimeConfig::default()
+    };
+    let rt = runtime(f, cfg);
+    let mut degraded_seen = 0;
+    for spec in specs(f, 8, 0.2, 13) {
+        let served = rt.query(spec.clone());
+        let Some(exact) = sync_value(f, &spec) else {
+            assert!(served.miss);
+            continue;
+        };
+        assert!(
+            served.lower <= exact + 1e-12 && exact <= served.upper + 1e-12,
+            "bounds [{}, {}] must bracket sync value {exact} (coverage {})",
+            served.lower,
+            served.upper,
+            served.coverage
+        );
+        if served.degraded {
+            degraded_seen += 1;
+            assert!(served.coverage < 1.0);
+            assert!(served.retries >= 1, "crashed shard must trigger the retry budget");
+        } else {
+            assert_eq!(served.value.to_bits(), exact.to_bits());
+        }
+    }
+    assert!(degraded_seen > 0, "shard 0 is down; some queries must degrade");
+    let report = rt.metrics().report();
+    assert!(report.crash_dropped > 0);
+    assert!(report.timeouts > 0);
+    assert_eq!(report.degraded, degraded_seen);
+}
+
+#[test]
+fn retries_recover_from_message_drops() {
+    let f = fixture();
+    let cfg = RuntimeConfig {
+        num_shards: 4,
+        dispatchers: 2,
+        shard_timeout: Duration::from_millis(4),
+        max_retries: 4,
+        fault: FaultPlan::lossy(99, 0.4, 0.0, 0.1, 0),
+        ..RuntimeConfig::default()
+    };
+    let rt = runtime(f, cfg);
+    let mut complete = 0usize;
+    let mut total = 0usize;
+    for spec in specs(f, 8, 0.15, 23) {
+        let served = rt.query(spec.clone());
+        let Some(exact) = sync_value(f, &spec) else {
+            continue;
+        };
+        total += 1;
+        assert!(served.lower <= exact + 1e-12 && exact <= served.upper + 1e-12);
+        if served.coverage == 1.0 {
+            complete += 1;
+            assert_eq!(served.value.to_bits(), exact.to_bits());
+        }
+    }
+    // With a 40% drop rate and 4 retries the chance a shard stays silent
+    // through all 5 attempts is ~1%, so the vast majority must complete.
+    assert!(complete * 10 >= total * 8, "only {complete}/{total} complete under retries");
+    let report = rt.metrics().report();
+    assert!(report.dropped > 0, "the plan must actually drop messages");
+    assert!(report.retries > 0, "drops must trigger retries");
+    assert!(report.duplicated > 0, "the plan must duplicate some responses");
+}
+
+#[test]
+fn trace_ring_records_recent_queries() {
+    let f = fixture();
+    let rt = runtime(f, RuntimeConfig { num_shards: 2, ..RuntimeConfig::default() });
+    let all = specs(f, 4, 0.15, 31);
+    let n = all.len();
+    for spec in all {
+        let _ = rt.query(spec);
+    }
+    let traces = rt.metrics().recent_traces();
+    assert_eq!(traces.len(), n);
+    assert!(traces.iter().all(|t| t.latency_us > 0 || t.miss || t.coverage == 1.0));
+}

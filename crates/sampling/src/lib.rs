@@ -64,12 +64,7 @@ impl SamplingMethod {
 
 /// Selects `m` candidates with the given method. Returns distinct ids;
 /// if `m >= candidates.len()`, all ids are returned.
-pub fn sample(
-    method: SamplingMethod,
-    candidates: &[Candidate],
-    m: usize,
-    seed: u64,
-) -> Vec<u32> {
+pub fn sample(method: SamplingMethod, candidates: &[Candidate], m: usize, seed: u64) -> Vec<u32> {
     let n = candidates.len();
     if m >= n {
         return candidates.iter().map(|&(_, id)| id).collect();
@@ -141,10 +136,8 @@ fn systematic(candidates: &[Candidate], m: usize, rng: &mut StdRng) -> Vec<u32> 
     for (i, &(p, _)) in candidates.iter().enumerate() {
         let ix = (((p.x - bbox.min.x) / cw.max(1e-300)) as usize).min(nx - 1);
         let iy = (((p.y - bbox.min.y) / ch.max(1e-300)) as usize).min(ny - 1);
-        let centre = Point::new(
-            bbox.min.x + (ix as f64 + 0.5) * cw,
-            bbox.min.y + (iy as f64 + 0.5) * ch,
-        );
+        let centre =
+            Point::new(bbox.min.x + (ix as f64 + 0.5) * cw, bbox.min.y + (iy as f64 + 0.5) * ch);
         let d = p.dist2(centre);
         let cell = &mut best[iy * nx + ix];
         if cell.map(|(bd, _)| d < bd).unwrap_or(true) {
@@ -195,8 +188,7 @@ pub fn stratified(
         if st.is_empty() {
             continue;
         }
-        let quota =
-            (((m as f64) * alloc / total_alloc.max(1e-300)).round() as usize).min(st.len());
+        let quota = (((m as f64) * alloc / total_alloc.max(1e-300)).round() as usize).min(st.len());
         let mut idx = st.clone();
         for i in 0..quota.min(idx.len()) {
             let j = rng.gen_range(i..idx.len());
@@ -250,8 +242,7 @@ fn reconcile(candidates: &[Candidate], chosen: &mut Vec<usize>, m: usize, rng: &
     }
     if chosen.len() < m {
         let have: std::collections::HashSet<usize> = chosen.iter().copied().collect();
-        let mut rest: Vec<usize> =
-            (0..candidates.len()).filter(|i| !have.contains(i)).collect();
+        let mut rest: Vec<usize> = (0..candidates.len()).filter(|i| !have.contains(i)).collect();
         for i in 0..rest.len() {
             let j = rng.gen_range(i..rest.len());
             rest.swap(i, j);

@@ -96,7 +96,8 @@ impl GridIndex {
         (0..self.nx * self.ny).map(move |i| {
             let ix = i % self.nx;
             let iy = i / self.nx;
-            let min = Point::new(self.region.min.x + ix as f64 * w, self.region.min.y + iy as f64 * h);
+            let min =
+                Point::new(self.region.min.x + ix as f64 * w, self.region.min.y + iy as f64 * h);
             let r = Rect::from_corners(min, min + Point::new(w, h));
             (r, self.cells[i].as_slice())
         })
@@ -213,10 +214,8 @@ mod tests {
         for qi in 0..25 {
             let q = Point::new((qi * 17 % 110) as f64 - 5.0, (qi * 29 % 110) as f64 - 5.0);
             let got = g.nearest(q).unwrap();
-            let want = pts
-                .iter()
-                .min_by(|a, b| q.dist2(a.0).partial_cmp(&q.dist2(b.0)).unwrap())
-                .unwrap();
+            let want =
+                pts.iter().min_by(|a, b| q.dist2(a.0).partial_cmp(&q.dist2(b.0)).unwrap()).unwrap();
             assert!(
                 (q.dist2(got.point) - q.dist2(want.0)).abs() < 1e-9,
                 "query {q}: got {} want {}",

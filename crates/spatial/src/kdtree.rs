@@ -61,8 +61,7 @@ impl KdTree {
         let axis: u8 = if bb.width() >= bb.height() { 0 } else { 1 };
         let mid = items.len() / 2;
         items.select_nth_unstable_by(mid, |a, b| {
-            let (ka, kb) =
-                if axis == 0 { (a.point.x, b.point.x) } else { (a.point.y, b.point.y) };
+            let (ka, kb) = if axis == 0 { (a.point.x, b.point.x) } else { (a.point.y, b.point.y) };
             ka.partial_cmp(&kb).unwrap()
         });
         let coord = if axis == 0 { items[mid].point.x } else { items[mid].point.y };
@@ -239,10 +238,8 @@ mod tests {
         for qi in 0..20 {
             let q = Point::new((qi * 7 % 100) as f64, (qi * 13 % 100) as f64);
             let got = t.nearest(q).unwrap();
-            let want = pts
-                .iter()
-                .min_by(|a, b| q.dist2(a.0).partial_cmp(&q.dist2(b.0)).unwrap())
-                .unwrap();
+            let want =
+                pts.iter().min_by(|a, b| q.dist2(a.0).partial_cmp(&q.dist2(b.0)).unwrap()).unwrap();
             assert!((q.dist2(got.point) - q.dist2(want.0)).abs() < 1e-9);
         }
     }

@@ -28,8 +28,7 @@ impl QuadTree {
     /// Builds a quadtree with at most `leaf_cap` entries per leaf.
     pub fn build(entries: &[(Point, u32)], leaf_cap: usize) -> Self {
         let leaf_cap = leaf_cap.max(1);
-        let items: Vec<Entry> =
-            entries.iter().map(|&(point, id)| Entry { point, id }).collect();
+        let items: Vec<Entry> = entries.iter().map(|&(point, id)| Entry { point, id }).collect();
         let pts: Vec<Point> = entries.iter().map(|e| e.0).collect();
         // Square region so quadrants stay square.
         let region = match Rect::bounding(&pts) {

@@ -61,15 +61,11 @@ impl RTree {
         let leaf_count = n.div_ceil(fanout);
         let slices = (leaf_count as f64).sqrt().ceil() as usize;
         let slice_size = n.div_ceil(slices.max(1));
-        items.sort_by(|a, b| {
-            a.rect.center().x.partial_cmp(&b.rect.center().x).unwrap()
-        });
+        items.sort_by(|a, b| a.rect.center().x.partial_cmp(&b.rect.center().x).unwrap());
         let mut out = Vec::with_capacity(leaf_count);
         for slice in items.chunks(slice_size.max(1)) {
             let mut slice = slice.to_vec();
-            slice.sort_by(|a, b| {
-                a.rect.center().y.partial_cmp(&b.rect.center().y).unwrap()
-            });
+            slice.sort_by(|a, b| a.rect.center().y.partial_cmp(&b.rect.center().y).unwrap());
             for chunk in slice.chunks(fanout) {
                 let entries = chunk.to_vec();
                 out.push((Self::mbr_of(&entries), Node::Leaf { entries }));
@@ -197,10 +193,7 @@ mod tests {
                 let y = next() * 100.0;
                 let w = next() * 5.0;
                 let h = next() * 5.0;
-                (
-                    Rect::from_corners(Point::new(x, y), Point::new(x + w, y + h)),
-                    i as u32,
-                )
+                (Rect::from_corners(Point::new(x, y), Point::new(x + w, y + h)), i as u32)
             })
             .collect()
     }
@@ -210,7 +203,9 @@ mod tests {
         let t = RTree::build(&[], 8);
         assert!(t.is_empty());
         assert!(t.bounds().is_none());
-        assert!(t.intersecting(&Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0))).is_empty());
+        assert!(t
+            .intersecting(&Rect::from_corners(Point::ORIGIN, Point::new(1.0, 1.0)))
+            .is_empty());
         assert_eq!(t.height(), 0);
     }
 

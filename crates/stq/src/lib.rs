@@ -43,6 +43,8 @@ pub use stq_mobility as mobility;
 pub use stq_net as net;
 /// Planar embeddings, duals, chains (paper §3.2–3.4).
 pub use stq_planar as planar;
+/// Concurrent sharded serving runtime with fault injection and metrics.
+pub use stq_runtime as runtime;
 /// Query-oblivious sensor sampling (paper §4.3).
 pub use stq_sampling as sampling;
 /// kd-trees, quadtrees, grid indexes.

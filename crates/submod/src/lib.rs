@@ -224,11 +224,7 @@ impl Objective for CoverageObjective {
 
     fn gain(&self, selected: &[usize], item: usize) -> f64 {
         let have = self.covered(selected);
-        self.covers[item]
-            .iter()
-            .filter(|e| !have.contains(e))
-            .map(|&e| self.weights[e])
-            .sum()
+        self.covers[item].iter().filter(|e| !have.contains(e)).map(|&e| self.weights[e]).sum()
     }
 
     fn cost(&self, _selected: &[usize], item: usize) -> f64 {
@@ -410,7 +406,11 @@ mod tests {
         // 40 items with disjoint covers: gains never change, so CELF should
         // evaluate each item exactly once.
         let covers: Vec<Vec<usize>> = (0..40).map(|i| vec![i]).collect();
-        let obj = CoverageObjective::new(covers, (0..40).map(|i| i as f64 + 1.0).collect(), vec![1.0; 40]);
+        let obj = CoverageObjective::new(
+            covers,
+            (0..40).map(|i| i as f64 + 1.0).collect(),
+            vec![1.0; 40],
+        );
         let (sel, evals) = lazy_greedy(&obj, 10.0, false);
         assert_eq!(sel.len(), 10);
         // CELF pays the initial sweep plus one staleness check per round —
@@ -454,7 +454,7 @@ mod tests {
         let mut sizes: Vec<usize> = atoms.iter().map(|a| a.junctions.len()).collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![2, 4, 4]); // {4,5}, {0..3}, {6..9}
-        // The intersection atom belongs to both queries.
+                                          // The intersection atom belongs to both queries.
         let inter = atoms.iter().find(|a| a.junctions == vec![4, 5]).unwrap();
         assert_eq!(inter.queries, vec![0, 1]);
         // Its boundary: edges (3,4) and (5,6).

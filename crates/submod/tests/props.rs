@@ -9,10 +9,8 @@ use stq_submod::{
 
 fn coverage_instance() -> impl Strategy<Value = CoverageObjective> {
     (2usize..10, 4usize..16).prop_flat_map(|(items, elements)| {
-        let covers = proptest::collection::vec(
-            proptest::collection::vec(0..elements, 1..5),
-            items..=items,
-        );
+        let covers =
+            proptest::collection::vec(proptest::collection::vec(0..elements, 1..5), items..=items);
         let weights = proptest::collection::vec(0.1f64..5.0, elements..=elements);
         (covers, weights).prop_map(|(covers, weights)| {
             let n = covers.len();
@@ -88,9 +86,8 @@ proptest! {
 fn path_queries() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
     (6usize..25).prop_flat_map(|n| {
         let queries = proptest::collection::vec(
-            (0..n, 1usize..6).prop_map(move |(lo, len)| {
-                (lo..(lo + len).min(n)).collect::<Vec<usize>>()
-            }),
+            (0..n, 1usize..6)
+                .prop_map(move |(lo, len)| (lo..(lo + len).min(n)).collect::<Vec<usize>>()),
             1..6,
         );
         (Just(n), queries)

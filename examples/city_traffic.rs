@@ -89,8 +89,7 @@ fn main() {
             let vals: Vec<f64> = [&uniform, &quadtree, &submod]
                 .iter()
                 .map(|g| {
-                    answer(sensing, g, &scenario.tracked.store, q, kind, Approximation::Lower)
-                        .value
+                    answer(sensing, g, &scenario.tracked.store, q, kind, Approximation::Lower).value
                 })
                 .collect();
             if exact > 0.0 {

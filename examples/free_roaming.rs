@@ -20,9 +20,8 @@ fn main() {
     // Sensing field: a Delaunay subdivision over 60 scattered buoys — think
     // maritime traffic cells.
     let mut rng = StdRng::seed_from_u64(20_24);
-    let buoys: Vec<Point> = (0..60)
-        .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
-        .collect();
+    let buoys: Vec<Point> =
+        (0..60).map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0))).collect();
     let tri = triangulate(&buoys);
     let emb = Embedding::from_geometry(buoys, tri.edges()).expect("triangulations are plane");
     let field = Subdivision::new(emb);

@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of [`criterion` 0.5](https://docs.rs/criterion)
+//! this workspace uses: `criterion_group!` / `criterion_main!`, benchmark
+//! groups with `sample_size`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, and `black_box`.
+//!
+//! Measurement is deliberately simple — per sample, one warm-up batch then a
+//! timed batch sized to ~5 ms, reporting min/median/max of the per-iteration
+//! time — with none of upstream's outlier analysis or HTML reports. Good
+//! enough to compare orders of magnitude and track regressions by eye.
+
+use std::time::{Duration, Instant};
+
+/// An opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name plus an optional parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter (upstream's `from_parameter`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration times, filled by [`Bencher::iter`].
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm up and size the batch so one sample spans ~5 ms.
+        let warm_start = Instant::now();
+        black_box(f());
+        let once = warm_start.elapsed().max(Duration::from_nanos(25));
+        let batch = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        self.times.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.times.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn report(label: &str, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    println!(
+        "{label:<40} time: [{:>12?} {:>12?} {:>12?}]",
+        times[0],
+        median,
+        times[times.len() - 1]
+    );
+}
+
+/// A named collection of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    #[allow(dead_code)]
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.name), &mut b.times);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), &mut b.times);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted and ignored in this shim).
+    pub fn configure_from_args(mut self) -> Self {
+        if self.sample_size == 0 {
+            self.sample_size = 20;
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 { 20 } else { self.sample_size };
+        BenchmarkGroup { name: name.into(), sample_size, parent: self }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.sample_size == 0 { 20 } else { self.sample_size };
+        let mut b = Bencher { samples, times: Vec::new() };
+        f(&mut b);
+        report(&id.name, &mut b.times);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions as one runnable unit.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (for `harness = false` targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("spin");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+        let mut c = Criterion::default().configure_from_args();
+        c.bench_function("top_level", |b| b.iter(|| black_box(21) * 2));
+    }
+}

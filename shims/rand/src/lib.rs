@@ -1,0 +1,212 @@
+//! Offline stand-in for the subset of [`rand` 0.8](https://docs.rs/rand/0.8)
+//! this workspace uses: `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! integer/float ranges, and `Rng::gen_bool`.
+//!
+//! The build environment has no registry access (see CONTRIBUTING.md), so
+//! the workspace's `rand` dependency points here. The generator is
+//! SplitMix64-seeded xoshiro256++ — not the real `StdRng` (ChaCha12), so
+//! streams differ from upstream `rand`, but every use in this workspace only
+//! requires a deterministic, well-mixed seeded source.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface: only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1], got {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Ranges that can be sampled uniformly.
+///
+/// Blanket-implemented for `Range<T>` / `RangeInclusive<T>` over every
+/// [`SampleUniform`] `T`, mirroring upstream `rand` — the single blanket
+/// impl (rather than one impl per concrete range type) is what lets type
+/// inference unify the literal `0.0..1.0` with the surrounding expression.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Types with a uniform sampler over half-open and inclusive ranges.
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    // 53 high bits → [0, 1).
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                let span = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let draw = (rng.next_u64() as u128 % span) as i128;
+                ((lo as i128) + draw) as $t
+            }
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                let span = ((hi as i128).wrapping_sub(lo as i128) as u128) + 1;
+                let draw = (rng.next_u64() as u128 % span) as i128;
+                ((lo as i128) + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<G: RngCore + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t)
+            }
+            fn sample_inclusive<G: RngCore + ?Sized>(rng: &mut G, lo: $t, hi: $t) -> $t {
+                lo + (hi - lo) * (unit_f64(rng.next_u64()) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++ with
+    /// SplitMix64 state expansion (not upstream's ChaCha12 — streams differ
+    /// from the real `rand`, determinism and mixing quality do not).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: usize =
+            (0..64).filter(|_| a.gen_range(0u64..1 << 40) == c.gen_range(0u64..1 << 40)).count();
+        assert!(same < 4, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(-5.0f64..5.0);
+            assert!((-5.0..5.0).contains(&y));
+            let z = rng.gen_range(3u32..=3);
+            assert_eq!(z, 3);
+            let w = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn float_distribution_covers_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lo_half = 0usize;
+        for _ in 0..1000 {
+            if rng.gen_range(0.0f64..1.0) < 0.5 {
+                lo_half += 1;
+            }
+        }
+        assert!((350..650).contains(&lo_half));
+    }
+}

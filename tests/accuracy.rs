@@ -13,11 +13,7 @@ fn scenario(seed: u64) -> Scenario {
     })
 }
 
-fn mean_lower_error(
-    s: &Scenario,
-    g: &SampledGraph,
-    queries: &[(QueryRegion, f64, f64)],
-) -> f64 {
+fn mean_lower_error(s: &Scenario, g: &SampledGraph, queries: &[(QueryRegion, f64, f64)]) -> f64 {
     let mut errs = Vec::new();
     for (q, t0, _) in queries {
         let kind = QueryKind::Snapshot(*t0);
@@ -64,10 +60,7 @@ fn error_decreases_with_query_size() {
     let large_q = s.make_queries(40, 0.3, 1_500.0, 9);
     let e_small = mean_lower_error(&s, &g, &small_q);
     let e_large = mean_lower_error(&s, &g, &large_q);
-    assert!(
-        e_large < e_small,
-        "bigger queries are easier: 3% → {e_small:.3}, 30% → {e_large:.3}"
-    );
+    assert!(e_large < e_small, "bigger queries are easier: 3% → {e_small:.3}, 30% → {e_large:.3}");
 }
 
 /// Fig. 13 shape: lower ≤ truth ≤ upper, and upper error also shrinks with
@@ -101,7 +94,15 @@ fn misses_shrink_with_size() {
     let miss_rate = |g: &SampledGraph, qs: &[(QueryRegion, f64, f64)]| {
         qs.iter()
             .filter(|(q, t0, _)| {
-                answer(&s.sensing, g, &s.tracked.store, q, QueryKind::Snapshot(*t0), Approximation::Lower).miss
+                answer(
+                    &s.sensing,
+                    g,
+                    &s.tracked.store,
+                    q,
+                    QueryKind::Snapshot(*t0),
+                    Approximation::Lower,
+                )
+                .miss
             })
             .count() as f64
             / qs.len() as f64

@@ -36,8 +36,7 @@ fn model_error_overhead_is_small() {
         let mut edges = Vec::new();
         for (q, t0, t1) in &queries {
             for qk in [QueryKind::Snapshot(*t0), QueryKind::Transient(*t0, *t1)] {
-                let exact =
-                    answer(&s.sensing, &g, &s.tracked.store, q, qk, Approximation::Lower);
+                let exact = answer(&s.sensing, &g, &s.tracked.store, q, qk, Approximation::Lower);
                 let model = answer(&s.sensing, &g, &learned, q, qk, Approximation::Lower);
                 if exact.miss {
                     continue;
@@ -124,11 +123,11 @@ fn storage_reduction_and_constancy() {
 fn learned_counts_physically_plausible() {
     let s = scenario();
     let g = SampledGraph::unsampled(&s.sensing);
-    let learned =
-        LearnedStore::fit(&s.tracked.store, None, RegressorKind::PiecewiseLinear(8));
+    let learned = LearnedStore::fit(&s.tracked.store, None, RegressorKind::PiecewiseLinear(8));
     let n_objects = s.trajectories.len() as f64;
     for (q, t0, _) in s.make_queries(15, 0.2, 500.0, 9) {
-        let out = answer(&s.sensing, &g, &learned, &q, QueryKind::Snapshot(t0), Approximation::Lower);
+        let out =
+            answer(&s.sensing, &g, &learned, &q, QueryKind::Snapshot(t0), Approximation::Lower);
         assert!(
             out.value > -n_objects && out.value < 2.0 * n_objects,
             "implausible learned count {}",
@@ -144,9 +143,8 @@ fn buffered_series_on_real_edge_stream() {
     use stq::learned::BufferedSeries;
     let s = scenario();
     // The busiest edge of the workload.
-    let busiest = (0..s.sensing.num_edges())
-        .max_by_key(|&e| s.tracked.store.form(e).total(true))
-        .unwrap();
+    let busiest =
+        (0..s.sensing.num_edges()).max_by_key(|&e| s.tracked.store.form(e).total(true)).unwrap();
     let ts = s.tracked.store.form(busiest).timestamps(true);
     assert!(ts.len() > 20, "need a busy edge for this test");
     let mut series = BufferedSeries::new(RegressorKind::PiecewiseLinear(16), 24);
@@ -159,10 +157,7 @@ fn buffered_series_on_real_edge_stream() {
     let mid = ts[ts.len() / 2];
     let truth = (ts.len() / 2 + 1) as f64;
     let est = series.count_until(mid);
-    assert!(
-        (est - truth).abs() <= truth * 0.25 + 4.0,
-        "buffered estimate {est} vs truth {truth}"
-    );
+    assert!((est - truth).abs() <= truth * 0.25 + 4.0, "buffered estimate {est} vs truth {truth}");
 }
 
 /// Learned stores slot into every query kind through the common

@@ -102,18 +102,14 @@ fn submodular_pipeline_end_to_end() {
     let misses = queries
         .iter()
         .filter(|(q, t0, _)| {
-            answer(
-                sensing,
-                &g,
-                &s.tracked.store,
-                q,
-                QueryKind::Snapshot(*t0),
-                Approximation::Lower,
-            )
-            .miss
+            answer(sensing, &g, &s.tracked.store, q, QueryKind::Snapshot(*t0), Approximation::Lower)
+                .miss
         })
         .count();
-    assert!(misses <= queries.len() / 2, "submodular graph missed {misses}/30 in-distribution queries");
+    assert!(
+        misses <= queries.len() / 2,
+        "submodular graph missed {misses}/30 in-distribution queries"
+    );
 }
 
 #[test]
@@ -150,14 +146,8 @@ fn network_simulator_agrees_with_query_engine() {
 
     let walk = net.perimeter_traversal(perimeter[0], &perimeter);
     assert!(walk.nodes_contacted >= perimeter.len() / 2, "perimeter should be mostly reachable");
-    let _ = answer(
-        sensing,
-        &g,
-        &s.tracked.store,
-        &q,
-        QueryKind::Snapshot(t0),
-        Approximation::Lower,
-    );
+    let _ =
+        answer(sensing, &g, &s.tracked.store, &q, QueryKind::Snapshot(t0), Approximation::Lower);
     // Energy accounting is finite and positive.
     let e = stq::net::EnergyModel::default().energy(&walk);
     assert!(e >= 0.0 && e.is_finite());
@@ -167,16 +157,19 @@ fn network_simulator_agrees_with_query_engine() {
 fn map_matched_gps_reproduces_counts() {
     // Render trajectories to noisy GPS, map-match them back (§5.1.3), and
     // check the query counts stay close to the ground-truth workload's.
+    // Enough objects that the central-region population is a real statistic
+    // rather than a handful of objects (tiny counts make the relative-slack
+    // check degenerate to its absolute floor).
     let s = Scenario::build(ScenarioConfig {
         junctions: 150,
-        mix: WorkloadMix { random_waypoint: 10, commuter: 5, transit: 0 },
+        mix: WorkloadMix { random_waypoint: 24, commuter: 12, transit: 0 },
         seed: 7,
         ..Default::default()
     });
     let sensing = &s.sensing;
     let mut rematched = Vec::new();
     for traj in &s.trajectories {
-        let fixes = stq::mobility::matching::to_gps(sensing.road(), traj, 5.0, 0.3, traj.id);
+        let fixes = stq::mobility::matching::to_gps(sensing.road(), traj, 2.0, 0.2, traj.id);
         if fixes.is_empty() {
             continue;
         }

@@ -54,12 +54,14 @@ fn privacy_composes_with_learned_store() {
     // The paper's two approximations stack: model inference + Laplace noise.
     let s = scenario();
     let g = sampled(&s);
-    let learned =
-        LearnedStore::fit(&s.tracked.store, Some(g.monitored()), RegressorKind::PiecewiseLinear(32));
+    let learned = LearnedStore::fit(
+        &s.tracked.store,
+        Some(g.monitored()),
+        RegressorKind::PiecewiseLinear(32),
+    );
     let private = PrivateCounts::new(learned, 1.0, 1.0, 500.0, 13);
     let (q, t0, t1) = s.make_queries(1, 0.2, 1_000.0, 9).remove(0);
-    for kind in [QueryKind::Snapshot(t0), QueryKind::Static(t0, t1), QueryKind::Transient(t0, t1)]
-    {
+    for kind in [QueryKind::Snapshot(t0), QueryKind::Static(t0, t1), QueryKind::Transient(t0, t1)] {
         let out = answer(&s.sensing, &g, &private, &q, kind, Approximation::Lower);
         assert!(out.value.is_finite());
     }
@@ -88,7 +90,7 @@ fn tighter_epsilon_means_noisier_answers() {
     let s = scenario();
     let g = sampled(&s);
     let queries = s.make_queries(15, 0.12, 1_000.0, 17);
-    let mut err_at = |eps: f64| -> f64 {
+    let err_at = |eps: f64| -> f64 {
         let private = PrivateCounts::new(s.tracked.store.clone(), eps, 1.0, 500.0, 31);
         let mut total = 0.0;
         for (q, t0, _) in &queries {

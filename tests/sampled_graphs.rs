@@ -104,11 +104,14 @@ fn knn_granularity_ordering() {
         assert!(g.num_monitored_edges() >= prev_edges, "k={k} shrank coverage");
         prev_edges = g.num_monitored_edges();
     }
-    // k-NN at moderate k produces at least as many (smaller) faces as
-    // triangulation — the property that helps small queries (§5.7).
+    // k-NN at moderate k produces roughly as many (smaller) faces as
+    // triangulation — the property that helps small queries (§5.7). Face
+    // counts depend on the sampled geometry, so require the k-NN count to
+    // reach at least three quarters of the triangulation's rather than an
+    // absolute gap.
     let knn5 = SampledGraph::from_sensors(&s.sensing, &sensors, Connectivity::Knn(5));
     assert!(
-        knn5.components().len() + 10 >= tri.components().len(),
+        knn5.components().len() * 4 >= tri.components().len() * 3,
         "k-NN(5) faces {} vs triangulation {}",
         knn5.components().len(),
         tri.components().len()

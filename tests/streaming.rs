@@ -50,10 +50,7 @@ fn streamed_exact_store_equals_batch_everywhere() {
     // Arbitrary region snapshots match the batch store exactly.
     for (q, t0, _) in s.make_queries(10, 0.15, 500.0, 3) {
         let b = s.sensing.boundary_of(&q.junctions, None);
-        assert_eq!(
-            snapshot_count(&store, &b, t0),
-            snapshot_count(&s.tracked.store, &b, t0)
-        );
+        assert_eq!(snapshot_count(&store, &b, t0), snapshot_count(&s.tracked.store, &b, t0));
     }
 }
 
@@ -61,11 +58,8 @@ fn streamed_exact_store_equals_batch_everywhere() {
 fn streaming_learned_store_answers_queries() {
     let s = scenario();
     let mut tracker = StreamTracker::new(30.0);
-    let mut store = StreamingLearnedStore::new(
-        s.sensing.num_edges(),
-        RegressorKind::PiecewiseLinear(32),
-        64,
-    );
+    let mut store =
+        StreamingLearnedStore::new(s.sensing.num_edges(), RegressorKind::PiecewiseLinear(32), 64);
     for ev in jittered_stream(&s, 29.0, 9) {
         for r in tracker.offer(ev).unwrap() {
             store.record(r);
@@ -116,8 +110,7 @@ fn late_events_are_surfaced_not_silently_dropped() {
 #[test]
 fn streaming_store_usable_through_count_source_trait() {
     let s = scenario();
-    let mut store =
-        StreamingLearnedStore::new(s.sensing.num_edges(), RegressorKind::Linear, 16);
+    let mut store = StreamingLearnedStore::new(s.sensing.num_edges(), RegressorKind::Linear, 16);
     let mut events: Vec<Crossing> =
         s.trajectories.iter().flat_map(|t| crossings_of(&s.sensing, t)).collect();
     events.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
