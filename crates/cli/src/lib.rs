@@ -18,7 +18,10 @@
 use std::collections::HashMap;
 
 use stq_core::prelude::*;
+use stq_core::repair::{RepairKind, RepairOutcome};
+use stq_forms::{EdgeHealth, Evidence};
 use stq_mobility::stats::{population_curve, WorkloadStats};
+use stq_net::{SensorFaultKind, SensorFaultMix, SensorFaultPlan};
 use stq_runtime::{CrashWindow, FaultPlan, QuerySpec, Runtime, RuntimeConfig};
 use stq_sampling::SamplingMethod;
 
@@ -103,8 +106,12 @@ COMMANDS:
   serve      run the sharded serving runtime   [--shards N --dispatchers N --queries N
                                                 --drop P --delay P --dup P --delay-ms MS
                                                 --crash SHARD --retries N --timeout-ms MS
-                                                --fault-seed S]
+                                                --fault-seed S + sensor-fault flags]
+  audit      corrupt sensors, audit + repair   [--dead F --lossy F --dup-sensors F
+                                                --flip F --skew F --fault-seed S]
 common flags: --junctions N (600) --objects K (120) --seed S (2024)
+sensor-fault flags (fractions of monitored links): --dead F --lossy F
+  --dup-sensors F --flip F --skew F; serve quarantines what the audit flags
 methods: uniform|systematic|stratified|kdtree|quadtree";
 
 fn scenario_from(args: &Args) -> Result<Scenario, CliError> {
@@ -149,6 +156,67 @@ fn deployment_from(args: &Args, s: &Scenario) -> Result<SampledGraph, CliError> 
         k => Connectivity::Knn(k),
     };
     Ok(SampledGraph::from_sensors(&s.sensing, &faces, conn))
+}
+
+/// Parses the sensor-fault mix flags (fractions of monitored links).
+fn sensor_mix_from(args: &Args) -> Result<SensorFaultMix, CliError> {
+    let mix = SensorFaultMix {
+        dead: args.get("dead", 0.0)?,
+        lossy: args.get("lossy", 0.0)?,
+        duplicating: args.get("dup-sensors", 0.0)?,
+        flipped: args.get("flip", 0.0)?,
+        skewed: args.get("skew", 0.0)?,
+    };
+    for (flag, p) in [
+        ("dead", mix.dead),
+        ("lossy", mix.lossy),
+        ("dup-sensors", mix.duplicating),
+        ("flip", mix.flipped),
+        ("skew", mix.skewed),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CliError::Usage(format!("--{flag} must be in [0, 1]")));
+        }
+    }
+    if mix.total() > 1.0 {
+        return Err(CliError::Usage("sensor-fault fractions must sum to ≤ 1".into()));
+    }
+    Ok(mix)
+}
+
+/// Corrupts ingestion per the mix, then audits and repairs. Returns the
+/// fault schedule, the (repaired) tracked data and the repair outcome.
+fn faulty_pipeline(
+    s: &Scenario,
+    g: &SampledGraph,
+    mix: SensorFaultMix,
+    fault_seed: u64,
+) -> (SensorFaultPlan, Tracked, RepairOutcome) {
+    let horizon = (0.0, s.config.trajectory.duration);
+    let monitored: Vec<usize> = (0..s.sensing.num_edges()).filter(|&e| g.monitored()[e]).collect();
+    let plan = SensorFaultPlan::generate(fault_seed, &monitored, horizon, mix);
+    let mut tracked = ingest_with_faults(&s.sensing, &s.trajectories, &plan);
+    let outcome =
+        quarantine_and_repair(&s.sensing, g, &mut tracked.store, horizon, &RepairConfig::default());
+    (plan, tracked, outcome)
+}
+
+fn health_label(h: EdgeHealth) -> &'static str {
+    match h {
+        EdgeHealth::Healthy => "healthy",
+        EdgeHealth::Suspect => "suspect",
+        EdgeHealth::Dead => "dead",
+    }
+}
+
+fn evidence_label(e: &Evidence) -> &'static str {
+    match e {
+        Evidence::NonMonotone { .. } => "non-monotone",
+        Evidence::DuplicateTimestamps { .. } => "dup-timestamps",
+        Evidence::Conservation { .. } => "conservation",
+        Evidence::SilentGap { .. } => "silent-gap",
+        Evidence::SilentSibling { .. } => "silent-sibling",
+    }
 }
 
 /// Runs one command, writing human-readable output into `out`.
@@ -310,7 +378,29 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 fault,
                 ..RuntimeConfig::default()
             };
-            let rt = Runtime::new(s.sensing.clone(), g, &s.tracked.store, cfg);
+            // Sensor faults: corrupt ingestion, audit + repair, then serve
+            // the repaired store with the quarantined edges blocked at the
+            // shards (audit verdicts gate serving).
+            let mix = sensor_mix_from(args)?;
+            let rt = if mix.total() > 0.0 {
+                let (plan, tracked, outcome) = faulty_pipeline(&s, &g, mix, fault_seed);
+                writeln!(
+                    out,
+                    "sensor faults: {} corrupted links, {} repaired, {} quarantined",
+                    plan.corrupted_edges().len(),
+                    outcome.repaired.len(),
+                    outcome.quarantined.len()
+                )?;
+                Runtime::with_quarantine(
+                    s.sensing.clone(),
+                    g,
+                    &tracked.store,
+                    cfg,
+                    &outcome.quarantined,
+                )
+            } else {
+                Runtime::new(s.sensing.clone(), g, &s.tracked.store, cfg)
+            };
             let specs: Vec<QuerySpec> = s
                 .make_queries(n, area, 2_000.0, seed ^ 0x7)
                 .into_iter()
@@ -345,6 +435,8 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     a.latency.as_micros(),
                     if a.miss {
                         "  MISS"
+                    } else if a.quarantined > 0 {
+                        "  QUARANTINED"
                     } else if a.degraded {
                         "  DEGRADED"
                     } else {
@@ -354,6 +446,64 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
             }
             writeln!(out, "{}", rt.metrics().report())?;
             rt.shutdown();
+            Ok(())
+        }
+        "audit" => {
+            let s = scenario_from(args)?;
+            let g = deployment_from(args, &s)?;
+            let mix = sensor_mix_from(args)?;
+            let fault_seed: u64 = args.get("fault-seed", args.get("seed", 2024)?)?;
+            let (plan, _tracked, outcome) = faulty_pipeline(&s, &g, mix, fault_seed);
+            writeln!(
+                out,
+                "injected: {} corrupted of {} monitored links (seed {fault_seed})",
+                plan.corrupted_edges().len(),
+                g.num_monitored_edges()
+            )?;
+            for kind in SensorFaultKind::ALL {
+                let n = plan.edges_of(kind).len();
+                if n > 0 {
+                    writeln!(out, "  {:<12} {n}", kind.label())?;
+                }
+            }
+            writeln!(
+                out,
+                "{:>6} | {:>8} | {:>5} | {:>11} | evidence",
+                "edge", "health", "conf", "outcome"
+            )?;
+            for e in outcome.initial.flagged() {
+                let v = outcome.initial.verdict(e).expect("flagged edge has a verdict");
+                let fate = if outcome.repaired.iter().any(|r| r.edge == e) {
+                    "repaired"
+                } else if outcome.quarantined.contains(&e) {
+                    "quarantined"
+                } else {
+                    "cleared"
+                };
+                let kinds: Vec<&str> = v.evidence.iter().map(evidence_label).collect();
+                writeln!(
+                    out,
+                    "{e:>6} | {:>8} | {:>5.2} | {fate:>11} | {}",
+                    health_label(v.health),
+                    v.confidence,
+                    kinds.join(", ")
+                )?;
+            }
+            let unflips = outcome.repaired.iter().filter(|r| r.kind == RepairKind::Unflip).count();
+            let dedups = outcome.repaired.iter().filter(|r| r.kind == RepairKind::Dedup).count();
+            writeln!(
+                out,
+                "audit: {} flagged, {} repaired ({unflips} unflip, {dedups} dedup), {} quarantined",
+                outcome.initial.flagged().len(),
+                outcome.repaired.len(),
+                outcome.quarantined.len()
+            )?;
+            writeln!(
+                out,
+                "granularity: {} → {} components after demotion",
+                g.components().len(),
+                outcome.graph.components().len()
+            )?;
             Ok(())
         }
         "help" | "--help" | "-h" => {
@@ -509,6 +659,65 @@ mod tests {
         ]);
         assert!(out.contains("DEGRADED") || out.contains("MISS"), "shard 0 is down:\n{out}");
         assert!(out.contains("crashed"));
+    }
+
+    #[test]
+    fn audit_reports_verdicts_and_repairs() {
+        let out = run_cmd(&[
+            "audit",
+            "--junctions",
+            "120",
+            "--objects",
+            "24",
+            "--size",
+            "0.3",
+            "--dead",
+            "0.15",
+            "--flip",
+            "0.1",
+            "--fault-seed",
+            "9",
+        ]);
+        assert!(out.contains("injected:"), "{out}");
+        assert!(out.contains("audit:"), "{out}");
+        assert!(out.contains("flagged"), "{out}");
+        assert!(out.contains("granularity:"), "{out}");
+    }
+
+    #[test]
+    fn audit_clean_sensors_flag_little() {
+        let out = run_cmd(&["audit", "--junctions", "100", "--objects", "20", "--size", "0.3"]);
+        assert!(out.contains("injected: 0 corrupted"), "{out}");
+    }
+
+    #[test]
+    fn serve_with_sensor_faults_quarantines() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--queries",
+            "4",
+            "--shards",
+            "2",
+            "--dead",
+            "0.2",
+            "--fault-seed",
+            "5",
+        ]);
+        assert!(out.contains("sensor faults:"), "{out}");
+        assert!(out.contains("quarantined"), "{out}");
+    }
+
+    #[test]
+    fn audit_rejects_overfull_mix() {
+        let args =
+            Args::parse(["audit", "--dead", "0.8", "--lossy", "0.5"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
     }
 
     #[test]

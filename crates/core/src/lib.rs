@@ -49,6 +49,7 @@ pub mod geometric;
 pub mod learned_store;
 pub mod query;
 pub mod render;
+pub mod repair;
 pub mod sampled;
 pub mod scenario;
 pub mod sensing;
@@ -59,9 +60,13 @@ pub use learned_store::LearnedStore;
 pub use query::{
     answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,
 };
+pub use repair::{
+    answer_with_bounds, net_flow_interval, quarantine_and_repair, BoundedAnswer, RepairConfig,
+    RepairKind, RepairOutcome, RepairedEdge,
+};
 pub use sampled::{Connectivity, SampledGraph};
 pub use sensing::SensingGraph;
-pub use tracker::{crossings_of, ingest, Crossing, Tracked};
+pub use tracker::{crossings_of, ingest, ingest_with_faults, Crossing, Tracked};
 
 /// Convenient glob-import surface for examples and tests.
 pub mod prelude {
@@ -73,10 +78,13 @@ pub mod prelude {
         answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,
     };
     pub use crate::render::Scene;
+    pub use crate::repair::{
+        answer_with_bounds, quarantine_and_repair, BoundedAnswer, RepairConfig, RepairOutcome,
+    };
     pub use crate::sampled::{Connectivity, SampledGraph};
     pub use crate::scenario::{Scenario, ScenarioConfig};
     pub use crate::sensing::SensingGraph;
-    pub use crate::streaming::{StreamTracker, StreamingLearnedStore};
-    pub use crate::tracker::{crossings_of, ingest, Crossing, Tracked};
+    pub use crate::streaming::{StreamStats, StreamTracker, StreamingLearnedStore};
+    pub use crate::tracker::{crossings_of, ingest, ingest_with_faults, Crossing, Tracked};
     pub use stq_mobility::trajectory::{TrajectoryConfig, WorkloadMix};
 }

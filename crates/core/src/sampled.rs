@@ -233,6 +233,79 @@ impl SampledGraph {
     pub fn ext_component(&self) -> usize {
         self.ext_component
     }
+
+    /// Describes every non-exterior component by its inward-oriented
+    /// monitored boundary — the input the 1-form integrity auditor needs.
+    /// The exterior component is excluded on purpose: its boundary contains
+    /// the unmonitored entry ramps, so the outside world is not conserved
+    /// from monitored data.
+    pub fn audit_components(&self, sensing: &SensingGraph) -> Vec<stq_forms::ComponentSpec> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|&(id, _)| id != self.ext_component)
+            .map(|(id, junctions)| {
+                let set: HashSet<VertexId> = junctions.iter().copied().collect();
+                let boundary = sensing
+                    .boundary_of(&set, Some(&self.monitored))
+                    .into_iter()
+                    .map(|be| (be.edge, be.inward_forward))
+                    .collect();
+                stq_forms::ComponentSpec { id, boundary }
+            })
+            .collect()
+    }
+
+    /// Quarantine: demotes `edges` to unmonitored and recomputes the faces.
+    /// Components separated only by a quarantined edge merge, so the
+    /// existing lower/upper resolution machinery automatically widens query
+    /// answers to sound bounds — no corrupted count is ever integrated.
+    pub fn demote_edges(&self, sensing: &SensingGraph, edges: &[usize]) -> SampledGraph {
+        let mut monitored = self.monitored.clone();
+        for &e in edges {
+            monitored[e] = false;
+        }
+        Self::finish(sensing, monitored, self.sensors.clone())
+    }
+
+    /// Failover patch: for each dead monitored edge, re-route the monitoring
+    /// duty along the cheapest live detour between the edge's two dual
+    /// faces, then drop the dead edges. This restores face granularity
+    /// around failures without rebuilding the whole sampled graph; edges in
+    /// `dead` are never selected again.
+    pub fn reroute_around(&self, sensing: &SensingGraph, dead: &[usize]) -> SampledGraph {
+        let dead_set: HashSet<usize> = dead.iter().copied().collect();
+        // Live-only dual adjacency: dead sensing links cannot carry duty.
+        let adj: stq_planar::paths::WeightedAdj = sensing
+            .dual_adjacency()
+            .iter()
+            .map(|nbrs| nbrs.iter().copied().filter(|&(_, e, _)| !dead_set.contains(&e)).collect())
+            .collect();
+        let mut monitored = self.monitored.clone();
+        for &e in dead {
+            if !self.monitored[e] {
+                continue;
+            }
+            monitored[e] = false;
+            let (f, g) = sensing.dual().edge_faces[e];
+            let sp = dijkstra(&adj, f);
+            // Detours through outside faces (≥ 1e9 penalty weights) would
+            // monitor ramps; leave such cuts open instead — demotion keeps
+            // the answers sound, just coarser.
+            if sp.dist[g] < 1e9 {
+                if let Some((_, edges)) = sp.path_to(g) {
+                    for pe in edges {
+                        monitored[pe] = true;
+                    }
+                }
+            }
+        }
+        // A detour may itself have been killed: never monitor a dead edge.
+        for &e in dead {
+            monitored[e] = false;
+        }
+        Self::finish(sensing, monitored, self.sensors.clone())
+    }
 }
 
 #[cfg(test)]

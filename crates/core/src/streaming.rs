@@ -24,6 +24,19 @@ pub struct StreamTracker {
     /// Buffered events, kept sorted by time (newest last).
     pending: Vec<Crossing>,
     watermark: Time,
+    stats: StreamStats,
+}
+
+/// Ingestion accounting of one [`StreamTracker`] — surfaced through the
+/// runtime's `Metrics` so silently rejected traffic is visible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Events accepted into the watermark buffer.
+    pub accepted: u64,
+    /// Events rejected for arriving behind the watermark.
+    pub late_dropped: u64,
+    /// Exact-duplicate crossings suppressed by the idempotency guard.
+    pub duplicates_suppressed: u64,
 }
 
 /// Rejected late event.
@@ -42,18 +55,34 @@ impl StreamTracker {
     /// Creates a tracker tolerating `max_skew` seconds of reordering.
     pub fn new(max_skew: Time) -> Self {
         assert!(max_skew >= 0.0, "skew must be non-negative");
-        StreamTracker { max_skew, pending: Vec::new(), watermark: f64::NEG_INFINITY }
+        StreamTracker {
+            max_skew,
+            pending: Vec::new(),
+            watermark: f64::NEG_INFINITY,
+            stats: StreamStats::default(),
+        }
     }
 
     /// Offers one event; returns the events *released* by the advancing
     /// watermark (in global time order), or an error if the event is older
-    /// than the watermark allows.
+    /// than the watermark allows. Rejections and suppressed duplicates are
+    /// counted in [`StreamTracker::stats`].
     pub fn offer(&mut self, ev: Crossing) -> Result<Vec<Crossing>, LateEvent> {
         if ev.time < self.watermark {
+            self.stats.late_dropped += 1;
             return Err(LateEvent(ev));
         }
-        // Insert keeping `pending` sorted by time.
+        // Idempotency guard: radio links retransmit, and a retransmitted
+        // crossing is byte-identical. Suppress exact duplicates still inside
+        // the watermark window (older duplicates are already released and
+        // beyond reach — bounded-memory streaming cannot dedup forever).
         let idx = self.pending.partition_point(|e| e.time <= ev.time);
+        let first_tie = self.pending[..idx].partition_point(|e| e.time < ev.time);
+        if self.pending[first_tie..idx].contains(&ev) {
+            self.stats.duplicates_suppressed += 1;
+            return Ok(Vec::new());
+        }
+        self.stats.accepted += 1;
         self.pending.insert(idx, ev);
         let newest = self.pending.last().map(|e| e.time).unwrap_or(ev.time);
         self.watermark = self.watermark.max(newest - self.max_skew);
@@ -70,6 +99,11 @@ impl StreamTracker {
     /// Events currently held back by the watermark.
     pub fn pending(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Ingestion accounting so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
     }
 }
 
@@ -235,5 +269,35 @@ mod tests {
     #[should_panic(expected = "skew")]
     fn negative_skew_rejected() {
         let _ = StreamTracker::new(-1.0);
+    }
+
+    #[test]
+    fn late_events_are_counted() {
+        let mut t = StreamTracker::new(2.0);
+        t.offer(ev(0.0, 0, true)).unwrap();
+        t.offer(ev(10.0, 0, true)).unwrap(); // watermark jumps to 8
+        assert!(t.offer(ev(3.0, 0, true)).is_err());
+        assert!(t.offer(ev(4.0, 1, false)).is_err());
+        let s = t.stats();
+        assert_eq!(s.late_dropped, 2);
+        assert_eq!(s.accepted, 2);
+    }
+
+    #[test]
+    fn exact_duplicates_are_suppressed() {
+        let mut t = StreamTracker::new(50.0);
+        let e = ev(5.0, 3, true);
+        assert!(t.offer(e).unwrap().is_empty());
+        assert!(t.offer(e).unwrap().is_empty(), "retransmission swallowed");
+        assert!(t.offer(e).unwrap().is_empty());
+        // Same time, different identity: kept.
+        t.offer(ev(5.0, 3, false)).unwrap();
+        t.offer(ev(5.0, 4, true)).unwrap();
+        assert_eq!(t.pending(), 3);
+        let s = t.stats();
+        assert_eq!(s.duplicates_suppressed, 2);
+        assert_eq!(s.accepted, 3);
+        let released = t.finish();
+        assert_eq!(released.len(), 3, "the duplicate is delivered exactly once");
     }
 }

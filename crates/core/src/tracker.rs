@@ -8,8 +8,9 @@
 //! [`FormStore`] and (optionally) the test oracle.
 
 use crate::sensing::SensingGraph;
-use stq_forms::{FormStore, OracleTracker, Time};
+use stq_forms::{FormStore, OracleTracker, Time, TrackingForm};
 use stq_mobility::Trajectory;
+use stq_net::SensorFaultPlan;
 
 /// One directed crossing event.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -80,6 +81,61 @@ pub fn ingest(sensing: &SensingGraph, trajectories: &[Trajectory]) -> Tracked {
     }
 
     Tracked { store, oracle, num_crossings: events.len() }
+}
+
+/// Ingests a workload through faulty sensors.
+///
+/// Each crossing passes through `plan.corrupt` *before* being logged, so the
+/// resulting [`FormStore`] really contains corrupted data: dead sensors leave
+/// gaps, lossy ones miss events, duplicating ones log twice, flipped ones
+/// swap direction, and skewed clocks produce out-of-order timestamps. The
+/// sensor writes its log in true-event order (it cannot sort by a clock it
+/// does not trust), so skew shows up as non-monotone sequences — exactly the
+/// signature the integrity auditor looks for. The oracle is built from the
+/// trajectories themselves and stays exact: it is the ground truth faulty
+/// serving is judged against.
+pub fn ingest_with_faults(
+    sensing: &SensingGraph,
+    trajectories: &[Trajectory],
+    plan: &SensorFaultPlan,
+) -> Tracked {
+    let mut events: Vec<Crossing> = Vec::new();
+    for traj in trajectories {
+        events.extend(crossings_of(sensing, traj));
+    }
+    events.sort_by(|a, b| a.time.partial_cmp(&b.time).unwrap());
+
+    // Per-edge raw sequences, appended in arrival order. Healthy edges end
+    // up monotone exactly as `ingest` would produce; corrupted ones don't.
+    let mut fwd: Vec<Vec<Time>> = vec![Vec::new(); sensing.num_edges()];
+    let mut bwd: Vec<Vec<Time>> = vec![Vec::new(); sensing.num_edges()];
+    let mut ordinal = vec![0u64; sensing.num_edges()];
+    let mut recorded = 0usize;
+    for c in &events {
+        let fate = plan.corrupt(c.edge, c.forward, c.time, ordinal[c.edge]);
+        ordinal[c.edge] += 1;
+        for (forward, t) in fate.event.into_iter().chain(fate.extra) {
+            let seq = if forward { &mut fwd[c.edge] } else { &mut bwd[c.edge] };
+            seq.push(t);
+            recorded += 1;
+        }
+    }
+    let mut store = FormStore::new(sensing.num_edges());
+    for e in 0..sensing.num_edges() {
+        store.set_form(
+            e,
+            TrackingForm::from_sequences(std::mem::take(&mut fwd[e]), std::mem::take(&mut bwd[e])),
+        );
+    }
+
+    let mut oracle = OracleTracker::new();
+    for traj in trajectories {
+        for &(t, j) in &traj.visits {
+            oracle.record_arrival(traj.id, j, t);
+        }
+    }
+
+    Tracked { store, oracle, num_crossings: recorded }
 }
 
 #[cfg(test)]

@@ -144,3 +144,61 @@ proptest! {
         }
     }
 }
+
+use stq_net::{SensorFault, SensorFaultKind, SensorFaultPlan};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Soundness of quarantine-and-repair under random fail-stop deaths:
+    /// after demoting everything untrusted — the (heartbeat-known) dead
+    /// edges, whatever the audit still flags, and any edge the repair pass
+    /// rewrote — every remaining monitored log is byte-identical to a
+    /// clean ingestion, so `answer_with_bounds` must bracket the oracle on
+    /// all three query kinds.
+    #[test]
+    fn repair_bounds_bracket_oracle_under_dead_sensors(s in small_scenario(),
+                                                       stride in 2usize..6,
+                                                       seed in 0u64..100) {
+        let cands = s.sensing.sensor_candidates();
+        let m = (cands.len() / 4).max(3);
+        let ids = stq_sampling::sample(stq_sampling::SamplingMethod::Uniform, &cands, m, seed);
+        let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+        let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
+
+        let dead: Vec<usize> = g.monitored().iter().enumerate()
+            .filter(|&(_, &on)| on).map(|(e, _)| e)
+            .step_by(stride)
+            .collect();
+        let plan = SensorFaultPlan::from_faults(seed, dead.iter().map(|&edge| SensorFault {
+            edge,
+            kind: SensorFaultKind::Dead,
+            from: f64::NEG_INFINITY,
+            until: f64::INFINITY,
+        }).collect());
+        let mut tracked = ingest_with_faults(&s.sensing, &s.trajectories, &plan);
+        let out = quarantine_and_repair(&s.sensing, &g, &mut tracked.store,
+                                        (0.0, 1_500.0), &RepairConfig::default());
+        let untrusted: Vec<usize> = dead.iter().copied()
+            .chain(out.repaired.iter().map(|r| r.edge))
+            .collect();
+        let graph = out.graph.demote_edges(&s.sensing, &untrusted);
+
+        let (q, t0, t1) = s.make_queries(1, 0.2, 400.0, seed ^ 0x5d).remove(0);
+        let inside = |j: usize| q.junctions.contains(&j);
+        for kind in [QueryKind::Snapshot(t0), QueryKind::Transient(t0, t1),
+                     QueryKind::Static(t0, t1)] {
+            let b = answer_with_bounds(&s.sensing, &graph, &tracked.store, &q, kind);
+            let truth = match kind {
+                QueryKind::Snapshot(t) => tracked.oracle.snapshot_count(&inside, t) as f64,
+                QueryKind::Transient(a, z) => tracked.oracle.transient_count(&inside, a, z) as f64,
+                QueryKind::Static(a, z) =>
+                    tracked.oracle.static_interval_count(&inside, a, z) as f64,
+            };
+            prop_assert!(b.contains(truth),
+                "{kind:?}: oracle {truth} outside [{}, {}] (miss {})",
+                b.lower, b.upper, b.miss);
+            prop_assert!((0.0..=1.0).contains(&b.coverage));
+        }
+    }
+}

@@ -34,6 +34,29 @@ impl TrackingForm {
         seq.push(t);
     }
 
+    /// Builds a form directly from raw timestamp sequences, bypassing the
+    /// monotonicity check of [`TrackingForm::record`]. Corrupted sensors
+    /// (clock skew, replayed logs) produce out-of-order sequences, and the
+    /// integrity auditor in [`crate::audit`] must be able to ingest them
+    /// verbatim to detect exactly that.
+    ///
+    /// # Panics
+    /// If any timestamp is not finite.
+    pub fn from_sequences(fwd: Vec<Time>, bwd: Vec<Time>) -> Self {
+        assert!(
+            fwd.iter().chain(bwd.iter()).all(|t| t.is_finite()),
+            "crossing times must be finite"
+        );
+        TrackingForm { fwd, bwd }
+    }
+
+    /// Whether a direction's log is monotone non-decreasing — the hard
+    /// invariant every healthy sensor satisfies (it observes time in order).
+    pub fn is_monotone(&self, forward: bool) -> bool {
+        let seq = if forward { &self.fwd } else { &self.bwd };
+        seq.windows(2).all(|w| w[0] <= w[1])
+    }
+
     /// Events with `time ≤ t` in a direction — the paper's `C(γ_t(e), t)`.
     pub fn count_until(&self, forward: bool, t: Time) -> usize {
         let seq = if forward { &self.fwd } else { &self.bwd };
@@ -115,6 +138,13 @@ impl FormStore {
     /// Access to one edge's form.
     pub fn form(&self, edge: EdgeIdx) -> &TrackingForm {
         &self.forms[edge]
+    }
+
+    /// Replaces one edge's form wholesale — used by corrupted ingestion (a
+    /// faulty sensor's log is built externally) and by the repair layer
+    /// (un-flipping or deduplicating a form rewrites it).
+    pub fn set_form(&mut self, edge: EdgeIdx, form: TrackingForm) {
+        self.forms[edge] = form;
     }
 
     /// Total number of recorded events across all edges and directions.

@@ -20,11 +20,15 @@
 //! used only by tests and benchmarks to certify exactness of the form-based
 //! counts on fully-monitored graphs.
 
+pub mod audit;
 pub mod form;
 pub mod oracle;
 pub mod privacy;
 pub mod query;
 
+pub use audit::{
+    audit, AuditConfig, AuditReport, ComponentSpec, EdgeHealth, EdgeVerdict, Evidence, Violation,
+};
 pub use form::{CountSource, FormStore, TrackingForm};
 pub use oracle::OracleTracker;
 pub use privacy::PrivateCounts;

@@ -154,3 +154,178 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Integrity-audit properties. The worlds here start every object in a
+// "depot" cell 0 that is excluded from the audit — it plays the exterior
+// component's role (unknown initial population), so every audited cell
+// begins empty and the 1-form conservation law holds exactly.
+// ---------------------------------------------------------------------------
+
+use stq_forms::{audit, AuditConfig, ComponentSpec, Evidence, TrackingForm};
+
+/// A depot random walk: objects start in cell 0 and move ±1 per step with
+/// per-object time jitter, so no two crossings collide exactly.
+#[derive(Clone, Debug)]
+struct DepotWalk {
+    cells: usize,
+    moves: Vec<Vec<bool>>,
+}
+
+fn depot_walk() -> impl Strategy<Value = DepotWalk> {
+    (4usize..10)
+        .prop_flat_map(|cells| {
+            let moves =
+                proptest::collection::vec(proptest::collection::vec(any::<bool>(), 0..40), 1..8);
+            (Just(cells), moves)
+        })
+        .prop_map(|(cells, moves)| DepotWalk { cells, moves })
+}
+
+fn walk_store(w: &DepotWalk) -> FormStore {
+    let mut store = FormStore::new(w.cells);
+    let mut events: Vec<(f64, usize, bool)> = Vec::new();
+    for (oid, moves) in w.moves.iter().enumerate() {
+        let mut cell = 0usize;
+        for (step, &up) in moves.iter().enumerate() {
+            let t = (step + 1) as f64 + oid as f64 / 64.0;
+            let (edge, forward) =
+                if up { (cell, true) } else { ((cell + w.cells - 1) % w.cells, false) };
+            events.push((t, edge, forward));
+            cell = if up { (cell + 1) % w.cells } else { (cell + w.cells - 1) % w.cells };
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (t, e, fwd) in events {
+        store.record(e, fwd, t);
+    }
+    store
+}
+
+/// Components for cells `1..cells` (cell 0 is the unaudited depot). Cell
+/// `i` is entered by forward crossings of edge `i-1` and backward crossings
+/// of edge `i`.
+fn ring_components(cells: usize) -> Vec<ComponentSpec> {
+    (1..cells).map(|i| ComponentSpec { id: i, boundary: vec![(i - 1, true), (i, false)] }).collect()
+}
+
+/// A deterministic tour world for targeted corruption: each of `objects`
+/// objects leaves the depot and walks the full ring once (every edge
+/// crossed forward exactly once per object, jittered per object).
+fn tour_store(cells: usize, objects: usize) -> FormStore {
+    let mut store = FormStore::new(cells);
+    for edge in 0..cells {
+        for o in 0..objects {
+            store.record(edge, true, (edge + 1) as f64 + o as f64 / 64.0);
+        }
+    }
+    store
+}
+
+fn hard_evidence(ev: &Evidence) -> bool {
+    !matches!(ev, Evidence::SilentGap { .. } | Evidence::SilentSibling { .. })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fault-free ingestion never produces hard evidence: physically
+    /// realizable movement conserves every audited component, per-edge
+    /// logs are monotone, and jittered times never duplicate. (Silence
+    /// heuristics may still fire on quiet edges — they cost coverage,
+    /// never allege corruption.)
+    #[test]
+    fn clean_walks_produce_no_hard_evidence(w in depot_walk()) {
+        let store = walk_store(&w);
+        let monitored: Vec<usize> = (0..w.cells).collect();
+        let comps = ring_components(w.cells);
+        let horizon = (0.0, 42.0);
+        let report = audit(&store, &monitored, &comps, horizon, &AuditConfig::default());
+        prop_assert!(report.violations().is_empty(),
+            "clean movement must conserve: {:?}", report.violations());
+        for v in report.verdicts() {
+            prop_assert!(v.evidence.iter().all(|e| !hard_evidence(e)),
+                "edge {} holds hard evidence {:?} on clean data", v.edge, v.evidence);
+        }
+    }
+
+    /// Killing one interior edge's sensor always breaks conservation on the
+    /// cell behind it: the tour's exit event arrives with no recorded
+    /// entry, the running population dips negative, and the dead edge is
+    /// flagged. (The depot-border edge `cells-1` is excluded: deaths there
+    /// are only visible to the unaudited exterior, exactly like the real
+    /// deployment's entry ramps.)
+    #[test]
+    fn dead_interior_edge_is_always_flagged(cells in 4usize..10, objects in 1usize..6,
+                                            pick in 0usize..64) {
+        let edge = pick % (cells - 1);
+        let mut store = tour_store(cells, objects);
+        store.set_form(edge, TrackingForm::new());
+        let monitored: Vec<usize> = (0..cells).collect();
+        let report = audit(&store, &monitored, &ring_components(cells),
+                           (0.0, cells as f64 + 1.0), &AuditConfig::default());
+        prop_assert!(!report.violations().is_empty(), "a silent entry edge must break conservation");
+        prop_assert!(report.flagged().contains(&edge), "dead edge {edge} not flagged");
+    }
+
+    /// Flipping one interior edge's polarity turns its recorded entries
+    /// into exits: the cell behind it goes negative immediately and the
+    /// flipped edge is flagged.
+    #[test]
+    fn flipped_interior_edge_is_always_flagged(cells in 4usize..10, objects in 1usize..6,
+                                               pick in 0usize..64) {
+        let edge = pick % (cells - 1);
+        let mut store = tour_store(cells, objects);
+        let form = store.form(edge);
+        let swapped = TrackingForm::from_sequences(
+            form.timestamps(false).to_vec(),
+            form.timestamps(true).to_vec(),
+        );
+        store.set_form(edge, swapped);
+        let report = audit(&store, &monitored_all(cells), &ring_components(cells),
+                           (0.0, cells as f64 + 1.0), &AuditConfig::default());
+        prop_assert!(!report.violations().is_empty(), "a flipped edge must break conservation");
+        prop_assert!(report.flagged().contains(&edge), "flipped edge {edge} not flagged");
+    }
+
+    /// A clock running backwards (non-monotone log) is a hard local
+    /// invariant: flagged on any edge, no conservation argument needed.
+    #[test]
+    fn skewed_edge_is_always_flagged(cells in 4usize..10, objects in 2usize..6,
+                                     pick in 0usize..64) {
+        let edge = pick % cells;
+        let mut store = tour_store(cells, objects);
+        let mut rev: Vec<f64> = store.form(edge).timestamps(true).to_vec();
+        rev.reverse();
+        store.set_form(edge, TrackingForm::from_sequences(rev, Vec::new()));
+        let report = audit(&store, &monitored_all(cells), &ring_components(cells),
+                           (0.0, cells as f64 + 1.0), &AuditConfig::default());
+        prop_assert!(report.flagged().contains(&edge), "skewed edge {edge} not flagged");
+        let v = report.verdict(edge).unwrap();
+        prop_assert!(v.evidence.iter().any(|e| matches!(e, Evidence::NonMonotone { .. })));
+    }
+
+    /// A duplicating sensor doubles every timestamp: at least two exact
+    /// duplicate pairs appear and the edge is flagged.
+    #[test]
+    fn duplicating_edge_is_always_flagged(cells in 4usize..10, objects in 2usize..6,
+                                          pick in 0usize..64) {
+        let edge = pick % cells;
+        let mut store = tour_store(cells, objects);
+        let doubled: Vec<f64> = store.form(edge)
+            .timestamps(true)
+            .iter()
+            .flat_map(|&t| [t, t])
+            .collect();
+        store.set_form(edge, TrackingForm::from_sequences(doubled, Vec::new()));
+        let report = audit(&store, &monitored_all(cells), &ring_components(cells),
+                           (0.0, cells as f64 + 1.0), &AuditConfig::default());
+        prop_assert!(report.flagged().contains(&edge), "duplicating edge {edge} not flagged");
+        let v = report.verdict(edge).unwrap();
+        prop_assert!(v.evidence.iter().any(|e| matches!(e, Evidence::DuplicateTimestamps { .. })));
+    }
+}
+
+fn monitored_all(cells: usize) -> Vec<usize> {
+    (0..cells).collect()
+}

@@ -29,11 +29,15 @@ pub struct FaultDecision {
     pub delay_ms: u64,
     /// The message arrives twice (receivers must deduplicate).
     pub duplicate: bool,
+    /// The message triggers a handler crash (firmware bug): the receiver
+    /// panics while processing instead of answering.
+    pub poison: bool,
 }
 
 impl FaultDecision {
-    /// A clean delivery: no drop, no delay, no duplicate.
-    pub const CLEAN: FaultDecision = FaultDecision { drop: false, delay_ms: 0, duplicate: false };
+    /// A clean delivery: no drop, no delay, no duplicate, no poison.
+    pub const CLEAN: FaultDecision =
+        FaultDecision { drop: false, delay_ms: 0, duplicate: false, poison: false };
 }
 
 /// A scheduled sensor outage, expressed in messages delivered to that sensor
@@ -64,6 +68,8 @@ pub struct FaultPlan {
     /// Upper bound on injected delay; actual delays are uniform in
     /// `1..=max_delay_ms`.
     pub max_delay_ms: u64,
+    /// Probability a message poisons its handler (panic while processing).
+    pub poison_p: f64,
     /// Scheduled outages.
     pub crashes: Vec<CrashWindow>,
 }
@@ -83,6 +89,7 @@ impl FaultPlan {
             delay_p: 0.0,
             dup_p: 0.0,
             max_delay_ms: 0,
+            poison_p: 0.0,
             crashes: Vec::new(),
         }
     }
@@ -94,7 +101,7 @@ impl FaultPlan {
         for (name, p) in [("drop_p", drop_p), ("delay_p", delay_p), ("dup_p", dup_p)] {
             assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
         }
-        FaultPlan { seed, drop_p, delay_p, dup_p, max_delay_ms, crashes: Vec::new() }
+        FaultPlan { seed, drop_p, delay_p, dup_p, max_delay_ms, poison_p: 0.0, crashes: Vec::new() }
     }
 
     /// Adds a scheduled outage (builder style).
@@ -103,9 +110,20 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the handler-poison probability (builder style).
+    pub fn with_poison(mut self, poison_p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&poison_p), "poison_p must be in [0, 1], got {poison_p}");
+        self.poison_p = poison_p;
+        self
+    }
+
     /// True when the plan can never perturb anything.
     pub fn is_noop(&self) -> bool {
-        self.drop_p == 0.0 && self.delay_p == 0.0 && self.dup_p == 0.0 && self.crashes.is_empty()
+        self.drop_p == 0.0
+            && self.delay_p == 0.0
+            && self.dup_p == 0.0
+            && self.poison_p == 0.0
+            && self.crashes.is_empty()
     }
 
     /// The fate of one message. Pure: same plan + same context → same answer.
@@ -120,7 +138,8 @@ impl FaultPlan {
             0
         };
         let duplicate = !drop && self.coin(ctx, Salt::Duplicate) < self.dup_p;
-        FaultDecision { drop, delay_ms, duplicate }
+        let poison = !drop && self.coin(ctx, Salt::Poison) < self.poison_p;
+        FaultDecision { drop, delay_ms, duplicate, poison }
     }
 
     /// Whether `node` is inside a crash window after having been addressed
@@ -159,6 +178,7 @@ enum Salt {
     Delay = 2,
     DelayAmount = 3,
     Duplicate = 4,
+    Poison = 5,
 }
 
 #[cfg(test)]

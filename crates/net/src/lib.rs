@@ -20,8 +20,10 @@
 use std::collections::{HashMap, VecDeque};
 
 pub mod fault;
+pub mod sensor;
 
 pub use fault::{CrashWindow, FaultDecision, FaultPlan, MessageCtx};
+pub use sensor::{SensorEventFate, SensorFault, SensorFaultKind, SensorFaultMix, SensorFaultPlan};
 
 /// Communication cost of a dispatch.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]

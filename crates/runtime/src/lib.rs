@@ -35,4 +35,7 @@ mod shard;
 
 pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace};
 pub use server::{PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer};
-pub use stq_net::{CrashWindow, FaultDecision, FaultPlan, MessageCtx};
+pub use stq_net::{
+    CrashWindow, FaultDecision, FaultPlan, MessageCtx, SensorFault, SensorFaultKind,
+    SensorFaultMix, SensorFaultPlan,
+};

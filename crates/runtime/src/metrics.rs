@@ -110,6 +110,15 @@ pub struct Metrics {
     pub retries: AtomicU64,
     /// Attempt windows that expired with shards still silent.
     pub timeouts: AtomicU64,
+    /// Worker panics caught by the shard guard (poisoned payloads).
+    pub shard_panics: AtomicU64,
+    /// Boundary edges a shard refused to serve because the integrity
+    /// auditor quarantined them.
+    pub quarantine_refusals: AtomicU64,
+    /// Ingestion events dropped for arriving behind the stream watermark.
+    pub late_dropped: AtomicU64,
+    /// Exact-duplicate crossings suppressed at ingestion.
+    pub dup_crossings: AtomicU64,
     /// End-to-end query latency.
     pub latency: Histogram,
     traces: Mutex<VecDeque<QueryTrace>>,
@@ -129,6 +138,14 @@ impl Metrics {
     /// Convenience relaxed add.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Folds a [`StreamTracker`](stq_core::streaming::StreamTracker)'s
+    /// ingestion accounting into the registry, so rejected and deduplicated
+    /// traffic shows up next to the serving counters.
+    pub fn absorb_stream(&self, s: &stq_core::streaming::StreamStats) {
+        Metrics::add(&self.late_dropped, s.late_dropped);
+        Metrics::add(&self.dup_crossings, s.duplicates_suppressed);
     }
 
     /// Records a completed query's trace (evicting the oldest past capacity).
@@ -160,6 +177,10 @@ impl Metrics {
             crash_dropped: load(&self.crash_dropped),
             retries: load(&self.retries),
             timeouts: load(&self.timeouts),
+            shard_panics: load(&self.shard_panics),
+            quarantine_refusals: load(&self.quarantine_refusals),
+            late_dropped: load(&self.late_dropped),
+            dup_crossings: load(&self.dup_crossings),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
@@ -192,6 +213,14 @@ pub struct MetricsReport {
     pub retries: u64,
     /// See [`Metrics::timeouts`].
     pub timeouts: u64,
+    /// See [`Metrics::shard_panics`].
+    pub shard_panics: u64,
+    /// See [`Metrics::quarantine_refusals`].
+    pub quarantine_refusals: u64,
+    /// See [`Metrics::late_dropped`].
+    pub late_dropped: u64,
+    /// See [`Metrics::dup_crossings`].
+    pub dup_crossings: u64,
     /// Median latency bucket edge (µs).
     pub p50_us: u64,
     /// 95th-percentile latency bucket edge (µs).
@@ -214,6 +243,11 @@ impl fmt::Display for MetricsReport {
             self.crash_dropped
         )?;
         writeln!(f, "retry rounds {}, timeout windows {}", self.retries, self.timeouts)?;
+        writeln!(
+            f,
+            "health: worker panics {}, quarantine refusals {}, late events {}, dup crossings {}",
+            self.shard_panics, self.quarantine_refusals, self.late_dropped, self.dup_crossings
+        )?;
         write!(f, "latency p50 {}us p95 {}us p99 {}us", self.p50_us, self.p95_us, self.p99_us)
     }
 }
@@ -260,6 +294,22 @@ mod tests {
         let traces = m.recent_traces();
         assert_eq!(traces.len(), TRACE_CAP);
         assert_eq!(traces[0].query_id, 50, "oldest entries evicted first");
+    }
+
+    #[test]
+    fn stream_stats_are_absorbed() {
+        let m = Metrics::new();
+        let s = stq_core::streaming::StreamStats {
+            accepted: 5,
+            late_dropped: 2,
+            duplicates_suppressed: 3,
+        };
+        m.absorb_stream(&s);
+        m.absorb_stream(&s);
+        let r = m.report();
+        assert_eq!(r.late_dropped, 4);
+        assert_eq!(r.dup_crossings, 6);
+        assert!(r.to_string().contains("late events 4"));
     }
 
     #[test]

@@ -104,6 +104,10 @@ pub struct ServedAnswer {
     pub miss: bool,
     /// True when served from partial data (`coverage < 1.0`).
     pub degraded: bool,
+    /// Boundary edges whose shard refused to serve them because the
+    /// integrity auditor quarantined the sensor (each counts against
+    /// `coverage` and widens the bounds by its worst case).
+    pub quarantined: usize,
     /// Shards the query fanned out to.
     pub shards: usize,
     /// Retry rounds that were needed.
@@ -162,12 +166,32 @@ impl Runtime {
         store: &FormStore,
         cfg: RuntimeConfig,
     ) -> Self {
+        Self::with_quarantine(sensing, sampled, store, cfg, &[])
+    }
+
+    /// Like [`Runtime::new`], but hands each shard the set of its edges the
+    /// integrity auditor quarantined. The shard keeps the (corrupted) forms
+    /// yet refuses to serve them, so every answer touching a quarantined
+    /// edge comes back with reduced coverage and widened bounds instead of
+    /// silently folding bad data.
+    pub fn with_quarantine(
+        sensing: SensingGraph,
+        sampled: SampledGraph,
+        store: &FormStore,
+        cfg: RuntimeConfig,
+        quarantined: &[usize],
+    ) -> Self {
         assert!(cfg.num_shards >= 1, "need at least one shard");
         assert!(cfg.dispatchers >= 1, "need at least one dispatcher");
         let metrics = Arc::new(Metrics::new());
 
         let mut parts: Vec<HashMap<usize, TrackingForm>> =
             (0..cfg.num_shards).map(|_| HashMap::new()).collect();
+        let mut bad: Vec<std::collections::HashSet<usize>> =
+            (0..cfg.num_shards).map(|_| std::collections::HashSet::new()).collect();
+        for &e in quarantined {
+            bad[e % cfg.num_shards].insert(e);
+        }
         let mut totals = Vec::with_capacity(store.num_edges());
         for e in 0..store.num_edges() {
             let form = store.form(e);
@@ -180,7 +204,13 @@ impl Runtime {
         for (i, forms) in parts.into_iter().enumerate() {
             let (tx, rx) = channel::unbounded::<ShardRequest>();
             to_shards.push(tx);
-            let worker = ShardWorker::new(i, forms, cfg.fault.clone(), Arc::clone(&metrics));
+            let worker = ShardWorker::new(
+                i,
+                forms,
+                std::mem::take(&mut bad[i]),
+                cfg.fault.clone(),
+                Arc::clone(&metrics),
+            );
             let handle = std::thread::Builder::new()
                 .name(format!("stq-shard-{i}"))
                 .spawn(move || worker.run(rx))
@@ -311,6 +341,7 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
             coverage: 0.0,
             miss: true,
             degraded: false,
+            quarantined: 0,
             shards: 0,
             retries: 0,
             latency: start.elapsed(),
@@ -327,10 +358,15 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
     }
     let fanout = pending.len();
     let mut slots: Vec<Option<EdgeCounts>> = vec![None; boundary.len()];
+    let mut refused_total = 0usize;
     let (tx, rx) = channel::unbounded::<ShardResponse>();
     let mut retries_used = 0u32;
 
     for attempt in 0..=st.cfg.max_retries {
+        // Shards whose worker panicked on this attempt: they answered (so
+        // the channel is live) but produced nothing — once every pending
+        // shard has failed, waiting out the timeout is pointless.
+        let mut panicked_now: std::collections::HashSet<usize> = std::collections::HashSet::new();
         for (&shard, edges) in &pending {
             Metrics::bump(&st.metrics.shard_requests);
             let _ = st.to_shards[shard].send(ShardRequest {
@@ -349,10 +385,19 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                 break;
             }
             match rx.recv_timeout(deadline - now) {
+                Ok(resp) if resp.panicked => {
+                    if pending.contains_key(&resp.shard) {
+                        panicked_now.insert(resp.shard);
+                        if pending.keys().all(|s| panicked_now.contains(s)) {
+                            break; // every outstanding shard failed; retry now
+                        }
+                    }
+                }
                 Ok(resp) => {
                     // First response per shard wins; duplicates and answers
                     // from superseded attempts are ignored.
                     if pending.remove(&resp.shard).is_some() {
+                        refused_total += resp.refused.len();
                         for c in resp.counts {
                             slots[c.idx] = Some(c);
                         }
@@ -416,6 +461,7 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         coverage,
         miss: false,
         degraded: coverage < 1.0,
+        quarantined: refused_total,
         shards: fanout,
         retries: retries_used,
         latency: start.elapsed(),

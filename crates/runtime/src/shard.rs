@@ -6,7 +6,7 @@
 //! re-folds the per-edge contributions in boundary order reproduces the
 //! synchronous path bit for bit — see `crate::server`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,6 +32,12 @@ pub(crate) struct ShardRequest {
 pub(crate) struct ShardResponse {
     pub shard: usize,
     pub counts: Vec<EdgeCounts>,
+    /// Boundary positions this shard refused to serve because the edge is
+    /// quarantined by the integrity auditor.
+    pub refused: Vec<usize>,
+    /// The worker panicked while computing; `counts` is empty. The
+    /// aggregator treats this as a failed attempt (retryable), not data.
+    pub panicked: bool,
 }
 
 /// Per-edge boundary contribution, keyed by position in the boundary chain.
@@ -50,6 +56,9 @@ pub(crate) struct EdgeCounts {
 pub(crate) struct ShardWorker {
     id: usize,
     forms: HashMap<usize, TrackingForm>,
+    /// Edges the integrity auditor quarantined: this shard still holds their
+    /// (corrupted) forms but refuses to serve them.
+    quarantined: HashSet<usize>,
     plan: FaultPlan,
     delivered: u64,
     metrics: Arc<Metrics>,
@@ -59,10 +68,11 @@ impl ShardWorker {
     pub(crate) fn new(
         id: usize,
         forms: HashMap<usize, TrackingForm>,
+        quarantined: HashSet<usize>,
         plan: FaultPlan,
         metrics: Arc<Metrics>,
     ) -> Self {
-        ShardWorker { id, forms, plan, delivered: 0, metrics }
+        ShardWorker { id, forms, quarantined, plan, delivered: 0, metrics }
     }
 
     /// Serves requests until every sender is gone (runtime shutdown).
@@ -97,10 +107,46 @@ impl ShardWorker {
                 Duration::from_millis(fate.delay_ms) * req.edges.len().max(1) as u32,
             );
         }
-        let counts =
-            req.edges.iter().map(|&(idx, be)| self.contribution(idx, be, req.kind)).collect();
-        let response = ShardResponse { shard: self.id, counts };
-        Metrics::bump(&self.metrics.shard_served);
+        // Audit verdicts gate serving: quarantined edges are refused (their
+        // positions reported so the aggregator can widen soundly), healthy
+        // ones are computed inside a panic guard — a poisoned payload must
+        // surface as a failed response, not kill the worker and hang every
+        // later query routed to this shard.
+        let mut refused = Vec::new();
+        let mut served: Vec<(usize, BoundaryEdge)> = Vec::new();
+        for &(idx, be) in &req.edges {
+            if self.quarantined.contains(&be.edge) {
+                refused.push(idx);
+            } else {
+                served.push((idx, be));
+            }
+        }
+        if !refused.is_empty() {
+            Metrics::add(&self.metrics.quarantine_refusals, refused.len() as u64);
+        }
+        let poison = fate.poison;
+        let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            served
+                .iter()
+                .map(|&(idx, be)| {
+                    // Poison corrupts the payload in flight: the edge id now
+                    // addresses a sensor nobody owns, and the lookup panics.
+                    let be =
+                        if poison { BoundaryEdge::new(usize::MAX, be.inward_forward) } else { be };
+                    self.contribution(idx, be, req.kind)
+                })
+                .collect::<Vec<_>>()
+        }));
+        let response = match computed {
+            Ok(counts) => {
+                Metrics::bump(&self.metrics.shard_served);
+                ShardResponse { shard: self.id, counts, refused, panicked: false }
+            }
+            Err(_) => {
+                Metrics::bump(&self.metrics.shard_panics);
+                ShardResponse { shard: self.id, counts: Vec::new(), refused, panicked: true }
+            }
+        };
         if fate.duplicate {
             Metrics::bump(&self.metrics.duplicated);
             let _ = req.reply.send(response.clone());

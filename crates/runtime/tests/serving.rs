@@ -214,6 +214,92 @@ fn retries_recover_from_message_drops() {
 }
 
 #[test]
+fn poisoned_payloads_surface_as_failed_responses() {
+    // poison_p = 1.0: every shard computation panics on a corrupted edge id.
+    // Regression: before the panic guard, the first poisoned request killed
+    // the worker thread, every later query to that shard hung out its full
+    // timeout, and nothing was ever reported. Now each panic comes back as a
+    // failed response: queries finish fast (no timeout waits), degraded,
+    // with sound worst-case bounds, and the workers survive to serve the
+    // whole batch.
+    let f = fixture();
+    let cfg = RuntimeConfig {
+        num_shards: 3,
+        dispatchers: 2,
+        shard_timeout: Duration::from_secs(2),
+        max_retries: 1,
+        fault: FaultPlan::none().with_poison(1.0),
+        ..RuntimeConfig::default()
+    };
+    let rt = runtime(f, cfg);
+    let start = std::time::Instant::now();
+    let mut served_any = 0;
+    for spec in specs(f, 6, 0.15, 19) {
+        let served = rt.query(spec.clone());
+        let Some(exact) = sync_value(f, &spec) else {
+            assert!(served.miss);
+            continue;
+        };
+        served_any += 1;
+        assert!(served.degraded, "all payloads poisoned: nothing can be exact");
+        assert_eq!(served.coverage, 0.0);
+        assert!(
+            served.lower <= exact + 1e-12 && exact <= served.upper + 1e-12,
+            "bounds [{}, {}] must bracket sync value {exact}",
+            served.lower,
+            served.upper
+        );
+    }
+    assert!(served_any > 0);
+    // The early-abort on all-shards-panicked must beat even one 2 s timeout
+    // window; without it this loop would take minutes.
+    assert!(start.elapsed() < Duration::from_secs(2), "panics must not wait out timeouts");
+    let report = rt.metrics().report();
+    assert!(report.shard_panics > 0, "the guard must have caught panics");
+    assert_eq!(report.shard_served, 0);
+}
+
+#[test]
+fn quarantined_edges_are_refused_and_widen_bounds() {
+    // Quarantine every monitored edge: each shard still holds the forms but
+    // must refuse them, so every covered query degrades to its worst-case
+    // interval — which still brackets the synchronous fold over the store.
+    let f = fixture();
+    let quarantined: Vec<usize> =
+        (0..f.scenario.sensing.num_edges()).filter(|&e| f.sampled.monitored()[e]).collect();
+    let rt = Runtime::with_quarantine(
+        f.scenario.sensing.clone(),
+        f.sampled.clone(),
+        store(f),
+        RuntimeConfig { num_shards: 3, dispatchers: 2, ..RuntimeConfig::default() },
+        &quarantined,
+    );
+    let mut refused_total = 0usize;
+    for spec in specs(f, 6, 0.15, 37) {
+        let served = rt.query(spec.clone());
+        let Some(exact) = sync_value(f, &spec) else {
+            assert!(served.miss);
+            continue;
+        };
+        refused_total += served.quarantined;
+        if served.quarantined > 0 {
+            assert!(served.degraded);
+            assert!(served.coverage < 1.0);
+            assert!(
+                served.lower <= exact + 1e-12 && exact <= served.upper + 1e-12,
+                "bounds [{}, {}] must bracket sync value {exact}",
+                served.lower,
+                served.upper
+            );
+        }
+    }
+    assert!(refused_total > 0, "some boundary edges must have been refused");
+    let report = rt.metrics().report();
+    assert_eq!(report.quarantine_refusals, refused_total as u64);
+    assert_eq!(report.shard_panics, 0);
+}
+
+#[test]
 fn trace_ring_records_recent_queries() {
     let f = fixture();
     let rt = runtime(f, RuntimeConfig { num_shards: 2, ..RuntimeConfig::default() });
