@@ -1,0 +1,388 @@
+//! Durability and crash-recovery sweep of the supervised `stq-runtime`:
+//! (a) WAL ingest overhead — the same crossing stream ingested with
+//! durability off vs on at the default snapshot/sync cadence, asserted
+//! below 10% — and (b) recovery behaviour vs snapshot interval under
+//! scheduled mid-ingest kill -9s: recovery latency, replay volumes,
+//! byte-identity of the respawned shards against an unkilled reference
+//! run, and bracket soundness of every answer served afterwards. Emits
+//! `results/BENCH_recovery.json` plus a human-readable table.
+//!
+//! ```sh
+//! cargo run --release -p stq-bench --bin recovery_sweep [-- --quick] [--seed N]
+//! ```
+//!
+//! `--seed` re-keys the torn-tail fault draws (how many unsynced WAL bytes
+//! survive each kill), so a CI matrix over seeds exercises different torn
+//! suffixes — including mid-record cuts — against the same assertions.
+//!
+//! Soundness here is the paper's degradation contract: whatever a crash
+//! tears off the WAL tail is re-supplied by the server's redo buffer, so
+//! the recovered state is byte-identical (digest-equal) and every served
+//! `[lower, upper]` must still bracket a synchronously maintained oracle.
+//! Both violation counters must be zero for the run to pass.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use stq_bench::SEEDS;
+use stq_core::prelude::*;
+use stq_core::query::evaluate;
+use stq_core::tracker::Crossing;
+use stq_forms::FormStore;
+use stq_runtime::{
+    DurabilityConfig, DurabilityFaultPlan, QuerySpec, Runtime, RuntimeConfig, ServedAnswer,
+};
+
+const NUM_SHARDS: usize = 4;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("stq-recovery-sweep-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create bench wal dir");
+    d
+}
+
+/// Deterministic post-horizon ingest stream: event `i` crosses edge
+/// `i % num_edges` far past everything the scenario pre-recorded, so a
+/// plain `FormStore::record` oracle absorbs it monotonically.
+fn stream(num_edges: usize, n: usize) -> Vec<Crossing> {
+    (0..n)
+        .map(|i| Crossing {
+            time: 10_000.0 + i as f64 * 0.25,
+            edge: i % num_edges,
+            forward: i % 3 != 0,
+        })
+        .collect()
+}
+
+fn runtime(s: &Scenario, g: &SampledGraph, cfg: RuntimeConfig) -> Runtime {
+    Runtime::new(s.sensing.clone(), g.clone(), &s.tracked.store, cfg)
+}
+
+/// Ingest + flush wall time for the whole stream, one run.
+fn ingest_once(
+    s: &Scenario,
+    g: &SampledGraph,
+    events: &[Crossing],
+    durability: Option<DurabilityConfig>,
+) -> (f64, u64, u64) {
+    let rt = runtime(
+        s,
+        g,
+        RuntimeConfig { num_shards: NUM_SHARDS, durability, ..RuntimeConfig::default() },
+    );
+    let t0 = Instant::now();
+    for &c in events {
+        rt.ingest(c);
+    }
+    rt.flush_ingest();
+    let elapsed = t0.elapsed().as_secs_f64();
+    let report = rt.metrics().report();
+    rt.shutdown();
+    (elapsed, report.wal_appends, report.snapshots_taken)
+}
+
+/// Queries that exercise both the pre-recorded era and the ingested one.
+fn specs(s: &Scenario, n: usize, seed: u64) -> Vec<QuerySpec> {
+    s.make_queries(n, 0.15, 1_500.0, seed)
+        .into_iter()
+        .flat_map(|(region, t0, t1)| {
+            [
+                QueryKind::Snapshot(t0),
+                QueryKind::Snapshot(10_500.0),
+                QueryKind::Transient(t0, 11_000.0),
+                QueryKind::Static(t1, 10_800.0),
+            ]
+            .into_iter()
+            .map(move |kind| QuerySpec {
+                region: region.clone(),
+                kind,
+                approx: Approximation::Lower,
+            })
+        })
+        .collect()
+}
+
+/// The synchronous oracle over an explicitly maintained store.
+fn sync_value(s: &Scenario, g: &SampledGraph, oracle: &FormStore, spec: &QuerySpec) -> Option<f64> {
+    let covered = match spec.approx {
+        Approximation::Lower => g.resolve_lower(&spec.region.junctions),
+        Approximation::Upper => g.resolve_upper(&spec.region.junctions),
+    };
+    if covered.is_empty() {
+        return None;
+    }
+    let boundary = s.sensing.boundary_of(&covered, Some(g.monitored()));
+    Some(evaluate(oracle, &boundary, spec.kind))
+}
+
+struct SweepOutcome {
+    respawns: u64,
+    wal_replayed: u64,
+    redo_replayed: u64,
+    snapshots: u64,
+    recovery_p50_us: u64,
+    recovery_max_us: u64,
+    digest_mismatches: usize,
+    soundness_violations: usize,
+    queries: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sweep_cell(
+    s: &Scenario,
+    g: &SampledGraph,
+    events: &[Crossing],
+    oracle: &FormStore,
+    reference_digests: &[u64],
+    queries: &[QuerySpec],
+    snapshot_every: u64,
+    kills: &[(usize, u64)],
+    chaos_seed: u64,
+) -> SweepOutcome {
+    let dir = tmpdir(&format!("sweep-{snapshot_every}"));
+    let cfg = RuntimeConfig {
+        num_shards: NUM_SHARDS,
+        durability: Some(DurabilityConfig {
+            wal_dir: dir.clone(),
+            snapshot_every,
+            sync_every: 32,
+            faults: DurabilityFaultPlan::killing(chaos_seed ^ 0xd00d, kills),
+        }),
+        ..RuntimeConfig::default()
+    };
+    let rt = runtime(s, g, cfg);
+    for &c in events {
+        rt.ingest(c);
+    }
+    rt.flush_ingest();
+
+    let digests = rt.shard_digests();
+    let digest_mismatches = digests.iter().zip(reference_digests).filter(|(a, b)| a != b).count();
+
+    let mut soundness_violations = 0usize;
+    for spec in queries {
+        let served: ServedAnswer = rt.query(spec.clone());
+        match sync_value(s, g, oracle, spec) {
+            None => {
+                if !served.miss {
+                    soundness_violations += 1;
+                }
+            }
+            Some(exact) => {
+                if served.miss || !(served.lower <= exact + 1e-9 && exact <= served.upper + 1e-9) {
+                    soundness_violations += 1;
+                }
+            }
+        }
+    }
+
+    let report = rt.metrics().report();
+    let recovery = &rt.metrics().recovery_us;
+    let out = SweepOutcome {
+        respawns: report.shard_respawns,
+        wal_replayed: report.wal_replayed,
+        redo_replayed: report.redo_replayed,
+        snapshots: report.snapshots_taken,
+        recovery_p50_us: recovery.quantile_us(0.5),
+        recovery_max_us: recovery.quantile_us(1.0),
+        digest_mismatches,
+        soundness_violations,
+        queries: queries.len(),
+    };
+    rt.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let chaos_seed: u64 = argv
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| argv.get(i + 1))
+        .map(|v| v.parse().expect("--seed takes an integer"))
+        .unwrap_or(SEEDS[0]);
+    let (junctions, objects, overhead_events, sweep_events, query_regions, reps) =
+        if quick { (150, 45, 100_000, 3_000, 6, 3) } else { (400, 150, 200_000, 9_000, 12, 5) };
+
+    let scenario = Scenario::build(ScenarioConfig {
+        junctions,
+        mix: WorkloadMix {
+            random_waypoint: objects / 3,
+            commuter: objects / 3,
+            transit: objects - 2 * (objects / 3),
+        },
+        seed: SEEDS[0],
+        ..Default::default()
+    });
+    let cands = scenario.sensing.sensor_candidates();
+    let ids = stq_sampling::sample(
+        stq_sampling::SamplingMethod::QuadTree,
+        &cands,
+        cands.len() / 4,
+        SEEDS[0] ^ 0x51,
+    );
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    let sampled =
+        SampledGraph::from_sensors(&scenario.sensing, &faces, Connectivity::Triangulation);
+    let ne = scenario.sensing.num_edges();
+    println!("# recovery_sweep — {junctions} junctions, {ne} edges, {NUM_SHARDS} shards");
+
+    // ---- Part A: WAL ingest overhead at the default cadence -------------
+    // Interleaved best-of-N on both sides: run-to-run scheduling noise on a
+    // ~50 ms measurement dwarfs the per-append cost, so the fair comparison
+    // is the best observed wall time of each mode across alternating runs
+    // (a warm-up run is discarded first). The overhead often comes out
+    // *negative*: a WAL append is a buffered 33-byte write, while an
+    // acknowledged durable floor lets the server trim its redo buffer —
+    // without durability that buffer retains the entire stream.
+    let overhead_stream = stream(ne, overhead_events);
+    let wal_dir = tmpdir("overhead");
+    let defaults = DurabilityConfig::new(wal_dir.clone());
+    let (snapshot_every, sync_every) = (defaults.snapshot_every, defaults.sync_every);
+    let _ = ingest_once(&scenario, &sampled, &overhead_stream, None);
+    let (mut t_off, mut t_on) = (f64::INFINITY, f64::INFINITY);
+    let (mut wal_appends, mut snapshots) = (0, 0);
+    for _ in 0..reps {
+        t_off = t_off.min(ingest_once(&scenario, &sampled, &overhead_stream, None).0);
+        let (t, w, sn) = ingest_once(&scenario, &sampled, &overhead_stream, Some(defaults.clone()));
+        t_on = t_on.min(t);
+        wal_appends = w;
+        snapshots = sn;
+    }
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let overhead_pct = (t_on / t_off - 1.0) * 100.0;
+    println!(
+        "\nWAL ingest overhead ({overhead_events} events, defaults snapshot={snapshot_every} \
+         sync={sync_every}): off {:.1} kev/s, on {:.1} kev/s, overhead {overhead_pct:+.2}% \
+         (budget < 10%)",
+        overhead_events as f64 / t_off / 1e3,
+        overhead_events as f64 / t_on / 1e3,
+    );
+    assert!(
+        overhead_pct < 10.0,
+        "WAL ingest overhead {overhead_pct:.2}% exceeds the 10% budget \
+         (off {t_off:.4}s vs on {t_on:.4}s)"
+    );
+
+    // ---- Part B: recovery vs snapshot interval under scheduled kills ----
+    let sweep_stream = stream(ne, sweep_events);
+    let mut oracle = scenario.tracked.store.clone();
+    for c in &sweep_stream {
+        oracle.record(c.edge, c.forward, c.time);
+    }
+    let queries = specs(&scenario, query_regions, SEEDS[0] ^ 0x71);
+
+    // Unkilled, undurable reference run: its digests are the ground truth
+    // the killed-and-recovered runs must reproduce byte-for-byte.
+    let rt_ref = runtime(
+        &scenario,
+        &sampled,
+        RuntimeConfig { num_shards: NUM_SHARDS, ..RuntimeConfig::default() },
+    );
+    for &c in &sweep_stream {
+        rt_ref.ingest(c);
+    }
+    rt_ref.flush_ingest();
+    let reference_digests = rt_ref.shard_digests();
+    rt_ref.shutdown();
+
+    // Two kill -9s per cell, mid-stream (per-shard append offsets).
+    let per_shard = (sweep_events / NUM_SHARDS) as u64;
+    let kills = [(0usize, per_shard / 6), (1usize, per_shard / 3)];
+
+    println!(
+        "\n{:>13} | {:>8} | {:>12} | {:>13} | {:>9} | {:>11} | {:>11} | {:>8} | {:>6}",
+        "snapshot_every",
+        "respawns",
+        "wal replayed",
+        "redo replayed",
+        "snapshots",
+        "rec p50 µs",
+        "rec max µs",
+        "digest≠",
+        "unsound"
+    );
+    let mut json_rows = String::new();
+    for &snapshot_every in &[256u64, 1024, 4096] {
+        let o = run_sweep_cell(
+            &scenario,
+            &sampled,
+            &sweep_stream,
+            &oracle,
+            &reference_digests,
+            &queries,
+            snapshot_every,
+            &kills,
+            chaos_seed,
+        );
+        println!(
+            "{:>13} | {:>8} | {:>12} | {:>13} | {:>9} | {:>11} | {:>11} | {:>8} | {:>6}",
+            snapshot_every,
+            o.respawns,
+            o.wal_replayed,
+            o.redo_replayed,
+            o.snapshots,
+            o.recovery_p50_us,
+            o.recovery_max_us,
+            o.digest_mismatches,
+            o.soundness_violations
+        );
+        assert!(o.respawns >= kills.len() as u64, "every scheduled kill must trigger a respawn");
+        assert_eq!(
+            o.digest_mismatches, 0,
+            "recovered shards must be byte-identical to the unkilled reference"
+        );
+        assert_eq!(o.soundness_violations, 0, "every post-recovery answer must bracket the oracle");
+        let _ = write!(
+            json_rows,
+            "{}    {{\"snapshot_every\": {}, \"events\": {}, \"kills\": {}, \"respawns\": {}, \
+             \"wal_replayed\": {}, \"redo_replayed\": {}, \"snapshots\": {}, \
+             \"recovery_p50_us\": {}, \"recovery_max_us\": {}, \"queries\": {}, \
+             \"digest_mismatches\": {}, \"soundness_violations\": {}}}",
+            if json_rows.is_empty() { "" } else { ",\n" },
+            snapshot_every,
+            sweep_events,
+            kills.len(),
+            o.respawns,
+            o.wal_replayed,
+            o.redo_replayed,
+            o.snapshots,
+            o.recovery_p50_us,
+            o.recovery_max_us,
+            o.queries,
+            o.digest_mismatches,
+            o.soundness_violations
+        );
+    }
+    println!("\nall cells: digests byte-identical, zero soundness violations");
+
+    let json = format!(
+        "{{\n  \"bench\": \"recovery_sweep\",\n  \"quick\": {},\n  \"chaos_seed\": {chaos_seed},\n  \"scenario\": \
+         {{\"junctions\": {}, \"objects\": {}, \"edges\": {}, \"shards\": {}, \"seed\": {}}},\n  \
+         \"wal_overhead\": {{\"events\": {}, \"reps\": {}, \"snapshot_every\": {snapshot_every}, \
+         \"sync_every\": {sync_every}, \"off_secs\": {:.5}, \"on_secs\": {:.5}, \"overhead_pct\": {:.3}, \
+         \"budget_pct\": 10.0, \"wal_appends\": {}, \"snapshots\": {}}},\n  \
+         \"recovery_cells\": [\n{}\n  ]\n}}\n",
+        quick,
+        junctions,
+        objects,
+        ne,
+        NUM_SHARDS,
+        SEEDS[0],
+        overhead_events,
+        reps,
+        t_off,
+        t_on,
+        overhead_pct,
+        wal_appends,
+        snapshots,
+        json_rows
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_recovery.json", &json).expect("write BENCH_recovery.json");
+    println!("wrote results/BENCH_recovery.json");
+}

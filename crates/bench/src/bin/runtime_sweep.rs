@@ -97,6 +97,7 @@ fn run_cell(s: &Scenario, g: &SampledGraph, specs: &[QuerySpec], cell: &Cell) ->
         shard_timeout: cell.timeout,
         max_retries: cell.retries,
         fault: fault_of(cell),
+        ..RuntimeConfig::default()
     };
     let rt = Runtime::new(s.sensing.clone(), g.clone(), &s.tracked.store, cfg);
     let start = Instant::now();

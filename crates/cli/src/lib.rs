@@ -16,13 +16,15 @@
 //! approved list).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use stq_core::prelude::*;
 use stq_core::repair::{RepairKind, RepairOutcome};
-use stq_forms::{EdgeHealth, Evidence};
+use stq_core::tracker::Crossing;
+use stq_forms::{EdgeHealth, Evidence, FormStore};
 use stq_mobility::stats::{population_curve, WorkloadStats};
-use stq_net::{SensorFaultKind, SensorFaultMix, SensorFaultPlan};
-use stq_runtime::{CrashWindow, FaultPlan, QuerySpec, Runtime, RuntimeConfig};
+use stq_net::{ChaosConfig, CrashWindow, SensorFaultKind, SensorFaultMix, SensorFaultPlan};
+use stq_runtime::{DurabilityConfig, QuerySpec, Runtime, RuntimeConfig};
 use stq_sampling::SamplingMethod;
 
 /// Parsed command-line arguments: a subcommand plus `--key value` flags.
@@ -72,7 +74,12 @@ impl Args {
                 .to_string();
             let value =
                 it.next().ok_or_else(|| CliError::Usage(format!("flag --{key} needs a value")))?;
-            flags.insert(key, value);
+            if flags.insert(key.clone(), value).is_some() {
+                // A repeated flag is never what the user meant: either a
+                // typo or two conflicting values, and silently letting the
+                // last one win makes the run unreproducible from memory.
+                return Err(CliError::Usage(format!("duplicate flag --{key}")));
+            }
         }
         Ok(Args { command, flags })
     }
@@ -83,6 +90,16 @@ impl Args {
             Some(v) => {
                 v.parse().map_err(|_| CliError::Usage(format!("invalid value for --{key}: {v}")))
             }
+        }
+    }
+
+    fn get_opt<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError::Usage(format!("invalid value for --{key}: {v}"))),
         }
     }
 
@@ -106,10 +123,17 @@ COMMANDS:
   serve      run the sharded serving runtime   [--shards N --dispatchers N --queries N
                                                 --drop P --delay P --dup P --delay-ms MS
                                                 --crash SHARD --retries N --timeout-ms MS
-                                                --fault-seed S + sensor-fault flags]
+                                                --chaos-seed S + sensor-fault flags
+                                                --wal-dir DIR --snapshot-every N
+                                                --sync-every N --ingest N --kill SHARD:SEQ]
+  recover    rebuild shard state from disk     [--wal-dir DIR --snapshot-every N
+                                                --sync-every N + deployment flags]
   audit      corrupt sensors, audit + repair   [--dead F --lossy F --dup-sensors F
-                                                --flip F --skew F --fault-seed S]
+                                                --flip F --skew F --chaos-seed S]
 common flags: --junctions N (600) --objects K (120) --seed S (2024)
+chaos: one root seed drives message, sensor, and durability faults;
+  --chaos-seed S is canonical, --fault-seed S is the legacy alias, and
+  conflicting or repeated seed flags are rejected
 sensor-fault flags (fractions of monitored links): --dead F --lossy F
   --dup-sensors F --flip F --skew F; serve quarantines what the audit flags
 methods: uniform|systematic|stratified|kdtree|quadtree";
@@ -184,17 +208,62 @@ fn sensor_mix_from(args: &Args) -> Result<SensorFaultMix, CliError> {
     Ok(mix)
 }
 
-/// Corrupts ingestion per the mix, then audits and repairs. Returns the
-/// fault schedule, the (repaired) tracked data and the repair outcome.
+/// Builds the unified chaos configuration from the fault flags. One root
+/// seed drives every plan: `--chaos-seed` is the canonical flag, the legacy
+/// `--fault-seed` still works, and giving both (or either twice) with
+/// different values is rejected instead of letting one silently win.
+fn chaos_from(args: &Args, default_seed: u64) -> Result<ChaosConfig, CliError> {
+    let drop_p: f64 = args.get("drop", 0.0)?;
+    let delay_p: f64 = args.get("delay", 0.0)?;
+    let dup_p: f64 = args.get("dup", 0.0)?;
+    let delay_ms: u64 = args.get("delay-ms", 2)?;
+    for (flag, p) in [("drop", drop_p), ("delay", delay_p), ("dup", dup_p)] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CliError::Usage(format!("--{flag} must be in [0, 1]")));
+        }
+    }
+    let mut b = ChaosConfig::builder()
+        .message_loss(drop_p, delay_p, dup_p, delay_ms)
+        .sensor_mix(sensor_mix_from(args)?);
+    if let Some(shard) = args.get_str("crash") {
+        let node: usize = shard
+            .parse()
+            .map_err(|_| CliError::Usage(format!("invalid --crash shard: {shard}")))?;
+        b = b.crash_window(CrashWindow { node, after_messages: 0, lasts_messages: u64::MAX });
+    }
+    if let Some(kill) = args.get_str("kill") {
+        let (shard, seq) = kill
+            .split_once(':')
+            .and_then(|(s, q)| Some((s.parse().ok()?, q.parse().ok()?)))
+            .ok_or_else(|| {
+                CliError::Usage(format!("invalid --kill (want SHARD:SEQ, got {kill})"))
+            })?;
+        b = b.ingest_crash(shard, seq);
+    }
+    let mut seeded = false;
+    for key in ["chaos-seed", "fault-seed"] {
+        if let Some(v) = args.get_opt::<u64>(key)? {
+            b = b.seed(v);
+            seeded = true;
+        }
+    }
+    if !seeded {
+        b = b.seed(default_seed);
+    }
+    b.build().map_err(|e| CliError::Usage(e.to_string()))
+}
+
+/// Corrupts ingestion per the chaos config's sensor mix, then audits and
+/// repairs. Returns the fault schedule, the (repaired) tracked data and the
+/// repair outcome.
 fn faulty_pipeline(
     s: &Scenario,
     g: &SampledGraph,
-    mix: SensorFaultMix,
-    fault_seed: u64,
+    chaos: &ChaosConfig,
 ) -> (SensorFaultPlan, Tracked, RepairOutcome) {
     let horizon = (0.0, s.config.trajectory.duration);
     let monitored: Vec<usize> = (0..s.sensing.num_edges()).filter(|&e| g.monitored()[e]).collect();
-    let plan = SensorFaultPlan::generate(fault_seed, &monitored, horizon, mix);
+    let plan = chaos.sensor_plan(&monitored, horizon);
     let mut tracked = ingest_with_faults(&s.sensing, &s.trajectories, &plan);
     let outcome =
         quarantine_and_repair(&s.sensing, g, &mut tracked.store, horizon, &RepairConfig::default());
@@ -336,33 +405,11 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
             Ok(())
         }
         "serve" => {
-            let s = scenario_from(args)?;
-            let g = deployment_from(args, &s)?;
             let area: f64 = args.get("area", 0.05)?;
             let n: usize = args.get("queries", 8)?;
             let seed: u64 = args.get("seed", 2024)?;
             let kind_name = args.get_str("kind").unwrap_or("snapshot");
-            let drop_p: f64 = args.get("drop", 0.0)?;
-            let delay_p: f64 = args.get("delay", 0.0)?;
-            let dup_p: f64 = args.get("dup", 0.0)?;
-            let delay_ms: u64 = args.get("delay-ms", 2)?;
-            let fault_seed: u64 = args.get("fault-seed", seed)?;
-            for (flag, p) in [("drop", drop_p), ("delay", delay_p), ("dup", dup_p)] {
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(CliError::Usage(format!("--{flag} must be in [0, 1]")));
-                }
-            }
-            let mut fault = FaultPlan::lossy(fault_seed, drop_p, delay_p, dup_p, delay_ms);
-            if let Some(shard) = args.get_str("crash") {
-                let node: usize = shard
-                    .parse()
-                    .map_err(|_| CliError::Usage(format!("invalid --crash shard: {shard}")))?;
-                fault = fault.with_crash(CrashWindow {
-                    node,
-                    after_messages: 0,
-                    lasts_messages: u64::MAX,
-                });
-            }
+            let chaos = chaos_from(args, seed)?;
             let shards: usize = args.get("shards", 4)?;
             let dispatchers: usize = args.get("dispatchers", 2)?;
             if shards == 0 || dispatchers == 0 {
@@ -370,20 +417,39 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     "--shards and --dispatchers must be at least 1".into(),
                 ));
             }
+            let durability = match args.get_str("wal-dir") {
+                Some(dir) => Some(DurabilityConfig {
+                    wal_dir: PathBuf::from(dir),
+                    snapshot_every: args.get("snapshot-every", 65_536)?,
+                    sync_every: args.get("sync-every", 32)?,
+                    faults: chaos.durability.clone(),
+                }),
+                None => {
+                    if args.get_str("kill").is_some() {
+                        return Err(CliError::Usage(
+                            "--kill injects a WAL-append crash and needs --wal-dir".into(),
+                        ));
+                    }
+                    None
+                }
+            };
+            let ingest_n: usize = args.get("ingest", 0)?;
             let cfg = RuntimeConfig {
                 num_shards: shards,
                 dispatchers,
                 shard_timeout: std::time::Duration::from_millis(args.get("timeout-ms", 20)?),
                 max_retries: args.get("retries", 2)?,
-                fault,
+                fault: chaos.message.clone(),
+                durability,
                 ..RuntimeConfig::default()
             };
+            let s = scenario_from(args)?;
+            let g = deployment_from(args, &s)?;
             // Sensor faults: corrupt ingestion, audit + repair, then serve
             // the repaired store with the quarantined edges blocked at the
             // shards (audit verdicts gate serving).
-            let mix = sensor_mix_from(args)?;
-            let rt = if mix.total() > 0.0 {
-                let (plan, tracked, outcome) = faulty_pipeline(&s, &g, mix, fault_seed);
+            let rt = if chaos.sensor_mix.total() > 0.0 {
+                let (plan, tracked, outcome) = faulty_pipeline(&s, &g, &chaos);
                 writeln!(
                     out,
                     "sensor faults: {} corrupted links, {} repaired, {} quarantined",
@@ -393,14 +459,36 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 )?;
                 Runtime::with_quarantine(
                     s.sensing.clone(),
-                    g,
+                    g.clone(),
                     &tracked.store,
                     cfg,
                     &outcome.quarantined,
                 )
             } else {
-                Runtime::new(s.sensing.clone(), g, &s.tracked.store, cfg)
+                Runtime::new(s.sensing.clone(), g.clone(), &s.tracked.store, cfg)
             };
+            // Live ingestion: stream synthetic post-horizon crossings over
+            // the monitored links, WAL-logging each when --wal-dir is set
+            // (and firing any scheduled --kill, which the supervisor must
+            // survive). The flush barrier lines every shard up before
+            // queries are served.
+            if ingest_n > 0 {
+                let monitored: Vec<usize> =
+                    (0..s.sensing.num_edges()).filter(|&e| g.monitored()[e]).collect();
+                if monitored.is_empty() {
+                    return Err(CliError::Usage("--ingest needs monitored links".into()));
+                }
+                let t0 = s.config.trajectory.duration;
+                for i in 0..ingest_n {
+                    rt.ingest(Crossing {
+                        time: t0 + 1.0 + i as f64 * 0.1,
+                        edge: monitored[i % monitored.len()],
+                        forward: i % 2 == 0,
+                    });
+                }
+                let applied = rt.flush_ingest();
+                writeln!(out, "ingested {ingest_n} crossings (per-shard applied: {applied:?})")?;
+            }
             let specs: Vec<QuerySpec> = s
                 .make_queries(n, area, 2_000.0, seed ^ 0x7)
                 .into_iter()
@@ -451,14 +539,14 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
         "audit" => {
             let s = scenario_from(args)?;
             let g = deployment_from(args, &s)?;
-            let mix = sensor_mix_from(args)?;
-            let fault_seed: u64 = args.get("fault-seed", args.get("seed", 2024)?)?;
-            let (plan, _tracked, outcome) = faulty_pipeline(&s, &g, mix, fault_seed);
+            let chaos = chaos_from(args, args.get("seed", 2024)?)?;
+            let (plan, _tracked, outcome) = faulty_pipeline(&s, &g, &chaos);
             writeln!(
                 out,
-                "injected: {} corrupted of {} monitored links (seed {fault_seed})",
+                "injected: {} corrupted of {} monitored links (seed {})",
                 plan.corrupted_edges().len(),
-                g.num_monitored_edges()
+                g.num_monitored_edges(),
+                chaos.seed
             )?;
             for kind in SensorFaultKind::ALL {
                 let n = plan.edges_of(kind).len();
@@ -503,6 +591,83 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 "granularity: {} → {} components after demotion",
                 g.components().len(),
                 outcome.graph.components().len()
+            )?;
+            Ok(())
+        }
+        "recover" => {
+            // Offline crash recovery: rebuild every shard's state from its
+            // snapshot + WAL, report torn tails, reassemble the store, and
+            // run the integrity audit over it — the same audit → quarantine
+            // path the live supervisor hands unexplained gaps to.
+            let dir = args
+                .get_str("wal-dir")
+                .ok_or_else(|| CliError::Usage("recover needs --wal-dir".into()))?;
+            let snapshot_every: u64 = args.get("snapshot-every", 65_536)?;
+            let sync_every: u64 = args.get("sync-every", 32)?;
+            let s = scenario_from(args)?;
+            let g = deployment_from(args, &s)?;
+            let root = PathBuf::from(dir);
+            let mut shards: Vec<usize> = std::fs::read_dir(&root)?
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    e.file_name().to_str()?.strip_prefix("shard-")?.parse::<usize>().ok()
+                })
+                .collect();
+            shards.sort_unstable();
+            if shards.is_empty() {
+                return Err(CliError::Usage(format!("no shard-<i> directories under {dir}")));
+            }
+            writeln!(
+                out,
+                "{:>5} | {:>9} | {:>8} | {:>9} | {:>6} | {:>9}",
+                "shard", "snap seq", "wal recs", "recovered", "tail", "discarded"
+            )?;
+            let mut store = FormStore::new(s.sensing.num_edges());
+            let mut torn = 0usize;
+            for &i in &shards {
+                let rec = stq_durability::recover_shard(&root, i, snapshot_every, sync_every)?;
+                let r = &rec.report;
+                writeln!(
+                    out,
+                    "{i:>5} | {:>9} | {:>8} | {:>9} | {:>6} | {:>9}",
+                    r.snapshot_seq,
+                    r.wal_records,
+                    r.recovered_seq,
+                    if r.torn_tail { "TORN" } else { "clean" },
+                    r.discarded_bytes
+                )?;
+                torn += usize::from(r.torn_tail);
+                for (e, form) in rec.forms {
+                    if e >= store.num_edges() {
+                        return Err(CliError::Usage(format!(
+                            "recovered edge {e} exceeds the city's {} edges — pass the same \
+                             --junctions/--seed the serving run used",
+                            store.num_edges()
+                        )));
+                    }
+                    store.set_form(e, form);
+                }
+            }
+            writeln!(
+                out,
+                "recovered {} shards ({torn} torn tails), {} events total",
+                shards.len(),
+                store.total_events()
+            )?;
+            let horizon = (0.0, s.config.trajectory.duration);
+            let outcome = quarantine_and_repair(
+                &s.sensing,
+                &g,
+                &mut store,
+                horizon,
+                &RepairConfig::default(),
+            );
+            writeln!(
+                out,
+                "audit: {} flagged, {} repaired, {} quarantined",
+                outcome.initial.flagged().len(),
+                outcome.repaired.len(),
+                outcome.quarantined.len()
             )?;
             Ok(())
         }
@@ -730,6 +895,104 @@ mod tests {
     fn serve_rejects_zero_shards() {
         let args = Args::parse(["serve", "--shards", "0"].map(String::from)).unwrap();
         assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let err = Args::parse(["serve", "--seed", "1", "--seed", "2"].map(String::from))
+            .expect_err("duplicate flag must fail to parse");
+        assert!(err.to_string().contains("duplicate flag --seed"), "{err}");
+        // Even repeating the same value is a refusal — the command line is
+        // ambiguous either way.
+        assert!(Args::parse(["serve", "--drop", "0.1", "--drop", "0.1"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn conflicting_seed_flags_are_rejected() {
+        let args =
+            Args::parse(["serve", "--chaos-seed", "1", "--fault-seed", "2"].map(String::from))
+                .unwrap();
+        let err = run(&args, &mut Vec::new()).expect_err("conflicting seeds must be rejected");
+        assert!(err.to_string().contains("conflicting"), "{err}");
+        // The same value through both flags is merely redundant, not wrong.
+        let ok = Args::parse(
+            [
+                "serve",
+                "--junctions",
+                "100",
+                "--objects",
+                "10",
+                "--size",
+                "0.3",
+                "--queries",
+                "1",
+                "--chaos-seed",
+                "7",
+                "--fault-seed",
+                "7",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert!(run(&ok, &mut Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn kill_without_wal_dir_is_rejected() {
+        let args = Args::parse(["serve", "--kill", "0:10"].map(String::from)).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--wal-dir"), "{err}");
+        let args = Args::parse(["serve", "--kill", "bogus"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+    }
+
+    #[test]
+    fn serve_then_recover_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("stq-cli-rec-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = dir.to_str().unwrap();
+        let common = ["--junctions", "100", "--objects", "20", "--size", "0.3", "--seed", "11"];
+        let mut serve_args = vec![
+            "serve",
+            "--queries",
+            "2",
+            "--shards",
+            "2",
+            "--ingest",
+            "120",
+            "--kill",
+            "0:40",
+            "--snapshot-every",
+            "32",
+            "--sync-every",
+            "8",
+            "--wal-dir",
+            wal,
+        ];
+        serve_args.extend_from_slice(&common);
+        let out = run_cmd(&serve_args);
+        assert!(out.contains("ingested 120 crossings"), "{out}");
+        assert!(out.contains("respawns 1"), "the scheduled kill must fire and recover:\n{out}");
+
+        let mut rec_args =
+            vec!["recover", "--wal-dir", wal, "--snapshot-every", "32", "--sync-every", "8"];
+        rec_args.extend_from_slice(&common);
+        let out = run_cmd(&rec_args);
+        assert!(out.contains("recovered 2 shards"), "{out}");
+        assert!(out.contains("audit:"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_requires_wal_dir_with_shards() {
+        let args = Args::parse(["recover"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
+        let empty = std::env::temp_dir().join(format!("stq-cli-rec-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&empty).unwrap();
+        let args = Args::parse(["recover", "--wal-dir", empty.to_str().unwrap()].map(String::from))
+            .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err(), "no shard dirs → usage error");
+        std::fs::remove_dir_all(&empty).ok();
     }
 
     #[test]

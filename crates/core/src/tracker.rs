@@ -23,6 +23,41 @@ pub struct Crossing {
     pub forward: bool,
 }
 
+impl Crossing {
+    /// Bytes of the wire encoding: `edge u64 LE + flags u8 + time bits u64 LE`.
+    pub const ENCODED_LEN: usize = 17;
+
+    /// Serializes into `out` (exactly [`Self::ENCODED_LEN`] bytes). The time
+    /// is stored as raw `f64` bits, so a decode is bit-identical — the
+    /// property crash recovery needs to rebuild byte-identical state.
+    pub fn encode_into(&self, out: &mut [u8]) {
+        assert_eq!(out.len(), Self::ENCODED_LEN);
+        out[0..8].copy_from_slice(&(self.edge as u64).to_le_bytes());
+        out[8] = self.forward as u8;
+        out[9..17].copy_from_slice(&self.time.to_bits().to_le_bytes());
+    }
+
+    /// Decodes an [`Self::encode_into`] image. Returns `None` for a wrong
+    /// length, an out-of-range flag byte, or a non-finite time — all
+    /// impossible in records this crate wrote, hence evidence of corruption.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::ENCODED_LEN {
+            return None;
+        }
+        let edge = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let forward = match bytes[8] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let time = f64::from_bits(u64::from_le_bytes(bytes[9..17].try_into().unwrap()));
+        if !time.is_finite() || usize::try_from(edge).is_err() {
+            return None;
+        }
+        Some(Crossing { time, edge: edge as usize, forward })
+    }
+}
+
 /// Extracts the crossing events of one trajectory.
 ///
 /// # Panics

@@ -1,0 +1,55 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) — the checksum
+//! guarding WAL records and snapshot files. Implemented here because the
+//! workspace builds offline (see CONTRIBUTING.md); the table is generated at
+//! first use and the result matches the ubiquitous zlib `crc32`.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let base = crc32(b"hello, durability");
+        let mut corrupted = b"hello, durability".to_vec();
+        for i in 0..corrupted.len() * 8 {
+            corrupted[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&corrupted), base, "bit {i} flip must change the checksum");
+            corrupted[i / 8] ^= 1 << (i % 8);
+        }
+    }
+}

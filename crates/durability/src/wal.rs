@@ -1,0 +1,529 @@
+//! The per-shard write-ahead log: length-prefixed, CRC-checksummed records
+//! of ingested boundary-crossing events.
+//!
+//! ## Durability model
+//!
+//! [`WalWriter`] distinguishes *written* bytes (handed to the OS, possibly
+//! sitting in a buffer) from *synced* bytes (flushed and — in a real
+//! deployment — fsynced). A kill -9-style crash preserves every synced byte
+//! and an arbitrary prefix of the unsynced suffix, including a cut in the
+//! middle of a record (a torn write). [`WalWriter::kill_cut`] applies
+//! exactly that: the surviving length is chosen by the caller (normally a
+//! seeded `stq_net::DurabilityFaultPlan`), so crash experiments replay
+//! bit-for-bit.
+//!
+//! ## Replay
+//!
+//! [`replay_wal`] walks the log from the front and stops at the first
+//! framing, checksum, or sequence violation; everything before the stop is
+//! trusted (CRC-verified, contiguous sequence numbers), everything after is
+//! the torn tail, reported so the caller can truncate the file and hand the
+//! gap to the quarantine path.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use stq_core::tracker::Crossing;
+use stq_forms::TrackingForm;
+
+use crate::crc::crc32;
+use crate::snapshot::{install_snapshot, ShardSnapshot};
+
+/// Fixed payload size: `seq u64 + edge u64 + flags u8 + time-bits u64`.
+pub(crate) const PAYLOAD_LEN: usize = 25;
+/// Header size: `len u32 + crc u32`.
+pub(crate) const HEADER_LEN: usize = 8;
+/// Full record size on disk.
+pub const RECORD_LEN: u64 = (HEADER_LEN + PAYLOAD_LEN) as u64;
+
+pub(crate) fn encode_payload(seq: u64, c: &Crossing) -> [u8; PAYLOAD_LEN] {
+    let mut p = [0u8; PAYLOAD_LEN];
+    p[0..8].copy_from_slice(&seq.to_le_bytes());
+    c.encode_into(&mut p[8..]);
+    p
+}
+
+pub(crate) fn decode_payload(p: &[u8]) -> Option<(u64, Crossing)> {
+    if p.len() != PAYLOAD_LEN {
+        return None;
+    }
+    let seq = u64::from_le_bytes(p[0..8].try_into().unwrap());
+    Crossing::decode(&p[8..]).map(|c| (seq, c))
+}
+
+/// An append-only writer over one shard's log file.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    /// Logical length: every byte appended, including buffered ones.
+    written: u64,
+    /// Durable boundary: bytes guaranteed to survive a crash.
+    synced: u64,
+    last_seq: u64,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a fresh log whose first record will carry
+    /// `base_seq + 1`.
+    pub fn create(path: &Path, base_seq: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
+        Ok(WalWriter {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+            written: 0,
+            synced: 0,
+            last_seq: base_seq,
+            records: 0,
+        })
+    }
+
+    /// Re-opens a recovered log for appending: the file is truncated to
+    /// `valid_len` (dropping any torn tail) and the writer resumes after
+    /// `last_seq`.
+    pub fn resume(
+        path: &Path,
+        valid_len: u64,
+        last_seq: u64,
+        records: u64,
+    ) -> std::io::Result<Self> {
+        // Deliberately no `truncate(true)`: the surviving prefix must be
+        // kept; `set_len` below drops only the torn tail.
+        let file = OpenOptions::new().create(true).truncate(false).write(true).open(path)?;
+        file.set_len(valid_len)?;
+        let mut file = file;
+        file.seek(SeekFrom::Start(valid_len))?;
+        Ok(WalWriter {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+            written: valid_len,
+            synced: valid_len,
+            last_seq,
+            records,
+        })
+    }
+
+    /// Appends one record. `seq` must continue the shard's contiguous
+    /// sequence — the invariant replay uses to prove nothing vanished
+    /// mid-log.
+    pub fn append(&mut self, seq: u64, c: &Crossing) -> std::io::Result<()> {
+        assert_eq!(seq, self.last_seq + 1, "WAL sequence must be contiguous");
+        let payload = encode_payload(seq, c);
+        let mut rec = [0u8; HEADER_LEN + PAYLOAD_LEN];
+        rec[0..4].copy_from_slice(&(PAYLOAD_LEN as u32).to_le_bytes());
+        rec[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        rec[8..].copy_from_slice(&payload);
+        self.file.write_all(&rec)?;
+        self.written += RECORD_LEN;
+        self.last_seq = seq;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes and marks everything written so far as durable. Returns the
+    /// highest sequence number now guaranteed to survive a crash.
+    pub fn sync(&mut self) -> std::io::Result<u64> {
+        self.file.flush()?;
+        self.synced = self.written;
+        Ok(self.last_seq)
+    }
+
+    /// Truncates the log to empty after a snapshot covering `covered_seq`
+    /// was installed; subsequent appends continue the sequence.
+    pub fn reset_after_snapshot(&mut self, covered_seq: u64) -> std::io::Result<()> {
+        assert_eq!(covered_seq, self.last_seq, "snapshot must cover the full log");
+        self.file.flush()?;
+        let file = self.file.get_mut();
+        file.set_len(0)?;
+        file.seek(SeekFrom::Start(0))?;
+        self.written = 0;
+        self.synced = 0;
+        self.records = 0;
+        Ok(())
+    }
+
+    /// Bytes appended but not yet durable.
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.written - self.synced
+    }
+
+    /// Highest appended sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Records currently in the log (since the last snapshot).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Simulates a kill -9 at this instant: synced bytes survive, plus the
+    /// first `surviving_unsynced` bytes of the unsynced suffix (a torn write
+    /// when that lands mid-record). Consumes the writer — the process is
+    /// dead.
+    pub fn kill_cut(mut self, surviving_unsynced: u64) -> std::io::Result<u64> {
+        self.file.flush()?;
+        let keep = self.synced + surviving_unsynced.min(self.written - self.synced);
+        let file = self.file.get_mut();
+        file.set_len(keep)?;
+        Ok(keep)
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The outcome of replaying one shard's log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalReplay {
+    /// Recovered events in sequence order, each tagged with its seq.
+    pub events: Vec<(u64, Crossing)>,
+    /// Bytes of the valid prefix (where replay stopped trusting the file).
+    pub valid_bytes: u64,
+    /// Total bytes on disk (> `valid_bytes` means a torn or corrupt tail).
+    pub file_bytes: u64,
+    /// A framing or checksum failure truncated the tail.
+    pub torn: bool,
+    /// A checksum-valid record carried a non-contiguous sequence number —
+    /// evidence of mid-log corruption, not just a torn tail.
+    pub seq_break: bool,
+}
+
+impl WalReplay {
+    /// Highest recovered sequence number, or `base_seq` when empty.
+    pub fn last_seq(&self, base_seq: u64) -> u64 {
+        self.events.last().map(|&(s, _)| s).unwrap_or(base_seq)
+    }
+}
+
+/// Replays the log at `path`, trusting only the checksum-valid,
+/// sequence-contiguous prefix that follows `base_seq` (the sequence number
+/// the snapshot already covers). A missing file replays as empty.
+pub fn replay_wal(path: &Path, base_seq: u64) -> std::io::Result<WalReplay> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    let file_bytes = bytes.len() as u64;
+    let mut events = Vec::new();
+    let mut off = 0usize;
+    let mut expected = base_seq + 1;
+    let mut torn = false;
+    let mut seq_break = false;
+    while off + HEADER_LEN <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        if len != PAYLOAD_LEN || off + HEADER_LEN + len > bytes.len() {
+            torn = true; // nonsense length or truncated payload
+            break;
+        }
+        let payload = &bytes[off + HEADER_LEN..off + HEADER_LEN + len];
+        if crc32(payload) != crc {
+            torn = true;
+            break;
+        }
+        let Some((seq, c)) = decode_payload(payload) else {
+            torn = true;
+            break;
+        };
+        if seq != expected {
+            seq_break = true; // valid record, wrong position: mid-log damage
+            break;
+        }
+        events.push((seq, c));
+        expected += 1;
+        off += HEADER_LEN + len;
+    }
+    if off < bytes.len() && !torn && !seq_break {
+        torn = true; // trailing garbage shorter than a header
+    }
+    Ok(WalReplay { events, valid_bytes: off as u64, file_bytes, torn, seq_break })
+}
+
+/// The worker-side durability handle for one shard: WAL appends, periodic
+/// syncs, and snapshot rollover in one place.
+#[derive(Debug)]
+pub struct ShardDurability {
+    dir: PathBuf,
+    shard: usize,
+    wal: WalWriter,
+    snapshot_every: u64,
+    sync_every: u64,
+    since_snapshot: u64,
+    since_sync: u64,
+}
+
+/// What a [`ShardDurability::append`] made durable, if anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DurableMark {
+    /// Highest sequence now guaranteed to survive a crash (after a sync or
+    /// snapshot), `None` when this append only buffered.
+    pub durable_seq: Option<u64>,
+    /// This append rolled the log into a fresh snapshot.
+    pub snapshotted: bool,
+}
+
+impl ShardDurability {
+    /// The directory holding one shard's snapshot and log.
+    pub fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+        root.join(format!("shard-{shard}"))
+    }
+
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    /// Initializes fresh durable state for a shard: installs a base snapshot
+    /// of `forms` covering `base_seq` and creates an empty log.
+    pub fn initialize(
+        root: &Path,
+        shard: usize,
+        forms: &HashMap<usize, TrackingForm>,
+        base_seq: u64,
+        snapshot_every: u64,
+        sync_every: u64,
+    ) -> std::io::Result<Self> {
+        let dir = Self::shard_dir(root, shard);
+        std::fs::create_dir_all(&dir)?;
+        install_snapshot(&dir, &ShardSnapshot::capture(shard, base_seq, forms))?;
+        let wal = WalWriter::create(&Self::wal_path(&dir), base_seq)?;
+        Ok(ShardDurability {
+            dir,
+            shard,
+            wal,
+            snapshot_every: snapshot_every.max(1),
+            sync_every: sync_every.max(1),
+            since_snapshot: 0,
+            since_sync: 0,
+        })
+    }
+
+    /// Resumes after recovery: the log is truncated to its valid prefix and
+    /// appends continue from `last_seq`.
+    pub fn resume(
+        root: &Path,
+        shard: usize,
+        valid_len: u64,
+        last_seq: u64,
+        records: u64,
+        snapshot_every: u64,
+        sync_every: u64,
+    ) -> std::io::Result<Self> {
+        let dir = Self::shard_dir(root, shard);
+        std::fs::create_dir_all(&dir)?;
+        let wal = WalWriter::resume(&Self::wal_path(&dir), valid_len, last_seq, records)?;
+        Ok(ShardDurability {
+            dir,
+            shard,
+            wal,
+            snapshot_every: snapshot_every.max(1),
+            sync_every: sync_every.max(1),
+            since_snapshot: records,
+            since_sync: 0,
+        })
+    }
+
+    /// Appends one crossing, then syncs or snapshots when the respective
+    /// interval is due. `forms` is the shard's in-memory state *including*
+    /// this crossing — the state a due snapshot must capture.
+    pub fn append(
+        &mut self,
+        seq: u64,
+        c: &Crossing,
+        forms: &HashMap<usize, TrackingForm>,
+    ) -> std::io::Result<DurableMark> {
+        self.wal.append(seq, c)?;
+        self.since_snapshot += 1;
+        self.since_sync += 1;
+        if self.since_snapshot >= self.snapshot_every {
+            self.snapshot_now(forms)?;
+            return Ok(DurableMark { durable_seq: Some(seq), snapshotted: true });
+        }
+        if self.since_sync >= self.sync_every {
+            let durable = self.wal.sync()?;
+            self.since_sync = 0;
+            return Ok(DurableMark { durable_seq: Some(durable), snapshotted: false });
+        }
+        Ok(DurableMark::default())
+    }
+
+    /// Installs a snapshot of `forms` now and truncates the log.
+    pub fn snapshot_now(&mut self, forms: &HashMap<usize, TrackingForm>) -> std::io::Result<()> {
+        let covered = self.wal.last_seq();
+        install_snapshot(&self.dir, &ShardSnapshot::capture(self.shard, covered, forms))?;
+        self.wal.reset_after_snapshot(covered)?;
+        self.since_snapshot = 0;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Flushes the log, making everything appended durable.
+    pub fn sync(&mut self) -> std::io::Result<u64> {
+        self.since_sync = 0;
+        self.wal.sync()
+    }
+
+    /// Highest appended sequence number.
+    pub fn last_seq(&self) -> u64 {
+        self.wal.last_seq()
+    }
+
+    /// Bytes that a crash right now would expose to loss.
+    pub fn unsynced_bytes(&self) -> u64 {
+        self.wal.unsynced_bytes()
+    }
+
+    /// Simulates a kill -9 (see [`WalWriter::kill_cut`]). Consumes the
+    /// handle.
+    pub fn kill_cut(self, surviving_unsynced: u64) -> std::io::Result<u64> {
+        self.wal.kill_cut(surviving_unsynced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("stq-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn ev(seq: u64) -> Crossing {
+        Crossing { time: seq as f64 * 0.5, edge: (seq % 7) as usize, forward: seq % 2 == 0 }
+    }
+
+    #[test]
+    fn roundtrip_replays_every_record() {
+        let dir = tmpdir("roundtrip");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for s in 1..=100u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        w.sync().unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.events.len(), 100);
+        assert!(!r.torn && !r.seq_break);
+        assert_eq!(r.valid_bytes, r.file_bytes);
+        for (i, &(s, c)) in r.events.iter().enumerate() {
+            assert_eq!(s, i as u64 + 1);
+            assert_eq!(c, ev(s));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_last_valid_record() {
+        let dir = tmpdir("torn");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for s in 1..=10u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        w.sync().unwrap();
+        // Cut mid-record: keep 7 full records plus half of the 8th.
+        let keep = 7 * RECORD_LEN + RECORD_LEN / 2;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(keep).unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.events.len(), 7);
+        assert!(r.torn);
+        assert!(!r.seq_break);
+        assert_eq!(r.valid_bytes, 7 * RECORD_LEN);
+        assert_eq!(r.file_bytes, keep);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flip_stops_replay_and_flags_torn() {
+        let dir = tmpdir("flip");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for s in 1..=5u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        w.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = 2 * RECORD_LEN as usize + HEADER_LEN + 3; // payload of record 3
+        bytes[victim] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.events.len(), 2, "replay trusts only the prefix before the flip");
+        assert!(r.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_cut_preserves_synced_prefix() {
+        let dir = tmpdir("kill");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for s in 1..=6u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        w.sync().unwrap();
+        for s in 7..=10u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        assert_eq!(w.unsynced_bytes(), 4 * RECORD_LEN);
+        // The crash keeps 1.5 unsynced records: 7 survives whole, 8 is torn.
+        w.kill_cut(RECORD_LEN + RECORD_LEN / 2).unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.last_seq(0), 7);
+        assert!(r.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_continues_the_sequence() {
+        let dir = tmpdir("resume");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        for s in 1..=4u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let r = replay_wal(&path, 0).unwrap();
+        let mut w = WalWriter::resume(&path, r.valid_bytes, r.last_seq(0), 4).unwrap();
+        for s in 5..=8u64 {
+            w.append(s, &ev(s)).unwrap();
+        }
+        w.sync().unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.events.len(), 8);
+        assert!(!r.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn sequence_jump_rejected_at_append() {
+        let dir = tmpdir("jump");
+        let mut w = WalWriter::create(&dir.join("wal.log"), 0).unwrap();
+        w.append(1, &ev(1)).unwrap();
+        let _ = w.append(3, &ev(3));
+    }
+
+    #[test]
+    fn missing_file_replays_empty() {
+        let dir = tmpdir("missing");
+        let r = replay_wal(&dir.join("nope.log"), 9).unwrap();
+        assert!(r.events.is_empty());
+        assert_eq!(r.last_seq(9), 9);
+        assert!(!r.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

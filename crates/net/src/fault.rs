@@ -72,6 +72,11 @@ pub struct FaultPlan {
     pub poison_p: f64,
     /// Scheduled outages.
     pub crashes: Vec<CrashWindow>,
+    /// Scheduled poison windows: every message addressed to the node while
+    /// the window is open crashes its handler. Unlike `poison_p` (a fresh
+    /// coin per message), a window models a *persistent* firmware fault —
+    /// the shape that must trip escalation rather than per-query retries.
+    pub poison_windows: Vec<CrashWindow>,
 }
 
 impl Default for FaultPlan {
@@ -91,6 +96,7 @@ impl FaultPlan {
             max_delay_ms: 0,
             poison_p: 0.0,
             crashes: Vec::new(),
+            poison_windows: Vec::new(),
         }
     }
 
@@ -101,7 +107,16 @@ impl FaultPlan {
         for (name, p) in [("drop_p", drop_p), ("delay_p", delay_p), ("dup_p", dup_p)] {
             assert!((0.0..=1.0).contains(&p), "{name} must be in [0, 1], got {p}");
         }
-        FaultPlan { seed, drop_p, delay_p, dup_p, max_delay_ms, poison_p: 0.0, crashes: Vec::new() }
+        FaultPlan {
+            seed,
+            drop_p,
+            delay_p,
+            dup_p,
+            max_delay_ms,
+            poison_p: 0.0,
+            crashes: Vec::new(),
+            poison_windows: Vec::new(),
+        }
     }
 
     /// Adds a scheduled outage (builder style).
@@ -117,6 +132,23 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a scheduled poison window (builder style): messages addressed
+    /// to `window.node` while the window is open crash its handler.
+    pub fn with_poison_window(mut self, window: CrashWindow) -> Self {
+        self.poison_windows.push(window);
+        self
+    }
+
+    /// Whether a message addressed to `node` after `delivered` prior
+    /// messages falls in a scheduled poison window.
+    pub fn scheduled_poison(&self, node: usize, delivered: u64) -> bool {
+        self.poison_windows.iter().any(|w| {
+            w.node == node
+                && delivered >= w.after_messages
+                && delivered - w.after_messages < w.lasts_messages
+        })
+    }
+
     /// True when the plan can never perturb anything.
     pub fn is_noop(&self) -> bool {
         self.drop_p == 0.0
@@ -124,6 +156,7 @@ impl FaultPlan {
             && self.dup_p == 0.0
             && self.poison_p == 0.0
             && self.crashes.is_empty()
+            && self.poison_windows.is_empty()
     }
 
     /// The fate of one message. Pure: same plan + same context → same answer.
@@ -251,6 +284,21 @@ mod tests {
         assert!(plan.is_crashed(4, 0));
         assert!(plan.is_crashed(4, u64::MAX - 1));
         assert!(!plan.is_crashed(3, 0));
+    }
+
+    #[test]
+    fn poison_windows_bound_the_fault() {
+        let plan = FaultPlan::none().with_poison_window(CrashWindow {
+            node: 1,
+            after_messages: 3,
+            lasts_messages: 4,
+        });
+        assert!(!plan.is_noop());
+        assert!(!plan.scheduled_poison(1, 2));
+        assert!(plan.scheduled_poison(1, 3));
+        assert!(plan.scheduled_poison(1, 6));
+        assert!(!plan.scheduled_poison(1, 7), "window closes: the node heals");
+        assert!(!plan.scheduled_poison(0, 5), "other nodes unaffected");
     }
 
     #[test]

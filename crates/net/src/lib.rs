@@ -19,9 +19,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
+pub mod chaos;
+pub mod durability;
 pub mod fault;
 pub mod sensor;
 
+pub use chaos::{ChaosBuilder, ChaosConfig, ChaosError};
+pub use durability::{DurabilityFaultPlan, IngestCrash};
 pub use fault::{CrashWindow, FaultDecision, FaultPlan, MessageCtx};
 pub use sensor::{SensorEventFate, SensorFault, SensorFaultKind, SensorFaultMix, SensorFaultPlan};
 

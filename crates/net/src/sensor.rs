@@ -107,6 +107,12 @@ pub struct SensorFaultMix {
     pub skewed: f64,
 }
 
+impl Default for SensorFaultMix {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
 impl SensorFaultMix {
     /// Nothing is afflicted.
     pub fn none() -> Self {

@@ -15,6 +15,13 @@
 //!   crashes shards on schedule; the aggregator retries with exponential
 //!   backoff and, past the budget, serves widened `[lower, upper]` bounds
 //!   with an honest `coverage` fraction instead of failing.
+//! - **Durability and supervision** — with a [`DurabilityConfig`], each
+//!   shard write-ahead-logs ingested crossings and periodically installs
+//!   compact snapshots; a supervisor thread watches for workers that die
+//!   (scheduled kill -9 with torn WAL tails) or escalate after consecutive
+//!   panicked requests, replays snapshot + WAL + the server's redo buffer to
+//!   a **byte-identical** state, and re-admits the shard. While a shard
+//!   recovers, queries skip it and keep returning sound widened brackets.
 //! - **Observability** — a lock-cheap [`Metrics`] registry (atomic counters,
 //!   log₂ latency histogram with p50/p95/p99, bounded per-query traces).
 //!
@@ -32,10 +39,15 @@
 pub mod metrics;
 pub mod server;
 mod shard;
+mod supervisor;
 
 pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace};
-pub use server::{PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer};
+pub use server::{
+    DurabilityConfig, PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer,
+};
+pub use shard::ShardHealth;
 pub use stq_net::{
-    CrashWindow, FaultDecision, FaultPlan, MessageCtx, SensorFault, SensorFaultKind,
-    SensorFaultMix, SensorFaultPlan,
+    ChaosBuilder, ChaosConfig, ChaosError, CrashWindow, DurabilityFaultPlan, FaultDecision,
+    FaultPlan, IngestCrash, MessageCtx, SensorFault, SensorFaultKind, SensorFaultMix,
+    SensorFaultPlan,
 };

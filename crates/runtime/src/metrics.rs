@@ -119,8 +119,33 @@ pub struct Metrics {
     pub late_dropped: AtomicU64,
     /// Exact-duplicate crossings suppressed at ingestion.
     pub dup_crossings: AtomicU64,
+    /// Crossings ingested by shard workers (deduplicated redo deliveries
+    /// excluded).
+    pub ingested: AtomicU64,
+    /// Records appended to shard write-ahead logs.
+    pub wal_appends: AtomicU64,
+    /// Snapshot rollovers (snapshot installed, WAL truncated).
+    pub snapshots_taken: AtomicU64,
+    /// WAL records replayed during crash recovery.
+    pub wal_replayed: AtomicU64,
+    /// Redo-buffer events re-applied during crash recovery.
+    pub redo_replayed: AtomicU64,
+    /// Ingested events recovery could not reconstruct (the affected shard's
+    /// edges were quarantined instead of served silently wrong).
+    pub lost_events: AtomicU64,
+    /// Worker threads respawned by the supervisor.
+    pub shard_respawns: AtomicU64,
+    /// Workers that escalated after consecutive panicked requests.
+    pub escalations: AtomicU64,
+    /// Shard fan-outs skipped because the shard was unhealthy or recovering
+    /// (each skip degrades that query's coverage instead of stalling it).
+    pub skipped_unhealthy: AtomicU64,
+    /// Gauge: shards currently being recovered by the supervisor.
+    pub recovering: AtomicU64,
     /// End-to-end query latency.
     pub latency: Histogram,
+    /// Supervisor recovery duration (abnormal exit → re-admitted).
+    pub recovery_us: Histogram,
     traces: Mutex<VecDeque<QueryTrace>>,
 }
 
@@ -181,6 +206,16 @@ impl Metrics {
             quarantine_refusals: load(&self.quarantine_refusals),
             late_dropped: load(&self.late_dropped),
             dup_crossings: load(&self.dup_crossings),
+            ingested: load(&self.ingested),
+            wal_appends: load(&self.wal_appends),
+            snapshots_taken: load(&self.snapshots_taken),
+            wal_replayed: load(&self.wal_replayed),
+            redo_replayed: load(&self.redo_replayed),
+            lost_events: load(&self.lost_events),
+            shard_respawns: load(&self.shard_respawns),
+            escalations: load(&self.escalations),
+            skipped_unhealthy: load(&self.skipped_unhealthy),
+            recovering: load(&self.recovering),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
@@ -221,6 +256,26 @@ pub struct MetricsReport {
     pub late_dropped: u64,
     /// See [`Metrics::dup_crossings`].
     pub dup_crossings: u64,
+    /// See [`Metrics::ingested`].
+    pub ingested: u64,
+    /// See [`Metrics::wal_appends`].
+    pub wal_appends: u64,
+    /// See [`Metrics::snapshots_taken`].
+    pub snapshots_taken: u64,
+    /// See [`Metrics::wal_replayed`].
+    pub wal_replayed: u64,
+    /// See [`Metrics::redo_replayed`].
+    pub redo_replayed: u64,
+    /// See [`Metrics::lost_events`].
+    pub lost_events: u64,
+    /// See [`Metrics::shard_respawns`].
+    pub shard_respawns: u64,
+    /// See [`Metrics::escalations`].
+    pub escalations: u64,
+    /// See [`Metrics::skipped_unhealthy`].
+    pub skipped_unhealthy: u64,
+    /// See [`Metrics::recovering`] (gauge at snapshot time).
+    pub recovering: u64,
     /// Median latency bucket edge (µs).
     pub p50_us: u64,
     /// 95th-percentile latency bucket edge (µs).
@@ -247,6 +302,23 @@ impl fmt::Display for MetricsReport {
             f,
             "health: worker panics {}, quarantine refusals {}, late events {}, dup crossings {}",
             self.shard_panics, self.quarantine_refusals, self.late_dropped, self.dup_crossings
+        )?;
+        writeln!(
+            f,
+            "durability: ingested {}, wal appends {}, snapshots {}",
+            self.ingested, self.wal_appends, self.snapshots_taken
+        )?;
+        writeln!(
+            f,
+            "supervision: respawns {}, escalations {}, wal replayed {}, redo replayed {}, \
+             lost events {}, skipped unhealthy {}, recovering {}",
+            self.shard_respawns,
+            self.escalations,
+            self.wal_replayed,
+            self.redo_replayed,
+            self.lost_events,
+            self.skipped_unhealthy,
+            self.recovering
         )?;
         write!(f, "latency p50 {}us p95 {}us p99 {}us", self.p50_us, self.p95_us, self.p99_us)
     }
@@ -294,6 +366,83 @@ mod tests {
         let traces = m.recent_traces();
         assert_eq!(traces.len(), TRACE_CAP);
         assert_eq!(traces[0].query_id, 50, "oldest entries evicted first");
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates() {
+        let h = Histogram::default();
+        // Everything at or beyond 2^63 µs lands in (and never overflows)
+        // the final bucket; the quantile reports that bucket's edge.
+        for us in [u64::MAX, u64::MAX - 1, 1u64 << 63, (1u64 << 63) - 1] {
+            h.record(us);
+        }
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.quantile_us(1.0), 1u64 << 63);
+        assert_eq!(h.quantile_us(0.0), 1u64 << 63);
+    }
+
+    #[test]
+    fn histogram_zero_sample_and_monotone_quantiles() {
+        let h = Histogram::default();
+        h.record(0); // 0 leading-zero trick: 0 → bucket 0, edge 0
+        assert_eq!(h.quantile_us(0.5), 0);
+        for us in [1u64, 7, 500, 1 << 40] {
+            h.record(us);
+        }
+        let qs: Vec<u64> =
+            [0.0, 0.25, 0.5, 0.75, 0.9, 1.0].iter().map(|&q| h.quantile_us(q)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "quantiles must be monotone: {qs:?}");
+        // Out-of-range q is clamped, not panicked on.
+        assert_eq!(h.quantile_us(-3.0), h.quantile_us(0.0));
+        assert_eq!(h.quantile_us(42.0), h.quantile_us(1.0));
+    }
+
+    #[test]
+    fn trace_ring_wraps_exactly_at_capacity() {
+        let mk = |id: u64| QueryTrace {
+            query_id: id,
+            shards: 1,
+            retries: 0,
+            coverage: 1.0,
+            latency_us: 10,
+            degraded: false,
+            miss: false,
+        };
+        let m = Metrics::new();
+        for i in 0..TRACE_CAP as u64 {
+            m.trace(mk(i));
+        }
+        // Exactly full: nothing evicted yet.
+        let t = m.recent_traces();
+        assert_eq!(t.len(), TRACE_CAP);
+        assert_eq!(t[0].query_id, 0);
+        // One more evicts exactly the oldest.
+        m.trace(mk(TRACE_CAP as u64));
+        let t = m.recent_traces();
+        assert_eq!(t.len(), TRACE_CAP);
+        assert_eq!(t[0].query_id, 1);
+        assert_eq!(t[TRACE_CAP - 1].query_id, TRACE_CAP as u64);
+    }
+
+    #[test]
+    fn durability_counters_round_trip_report() {
+        let m = Metrics::new();
+        Metrics::add(&m.ingested, 100);
+        Metrics::add(&m.wal_appends, 100);
+        Metrics::bump(&m.snapshots_taken);
+        Metrics::bump(&m.shard_respawns);
+        Metrics::add(&m.wal_replayed, 40);
+        Metrics::add(&m.redo_replayed, 5);
+        m.recovery_us.record(800);
+        let r = m.report();
+        assert_eq!(r.ingested, 100);
+        assert_eq!(r.snapshots_taken, 1);
+        assert_eq!(r.shard_respawns, 1);
+        let text = r.to_string();
+        assert!(text.contains("wal appends 100"));
+        assert!(text.contains("respawns 1"));
+        // Pre-existing lines keep their shape (additive change only).
+        assert!(text.contains("latency p50"));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The sharded query-serving runtime: submission queue, dispatchers,
-//! fan-out/aggregation, timeouts, retries, and graceful degradation.
+//! fan-out/aggregation, timeouts, retries, graceful degradation, live
+//! ingestion, and supervised crash recovery.
 //!
 //! ## Dataflow
 //!
@@ -11,6 +12,12 @@
 //!                                     └─▶ shard k ─┘
 //!                                     ▼ re-fold in boundary order
 //!                                 ServedAnswer
+//!
+//! ingest() ─▶ per-shard lane (seq + redo buffer) ─▶ shard worker
+//!                                                    ├─ apply to forms
+//!                                                    └─ WAL append/snapshot
+//! supervisor ◀─ worker exits (kill / escalation); replays snapshot + WAL +
+//!               redo buffer, respawns, re-admits
 //! ```
 //!
 //! ## Exactness and degradation
@@ -20,27 +27,67 @@
 //! full coverage the result is bit-identical to the synchronous
 //! `stq_core::query::evaluate` fold (floating-point addition happens in the
 //! same order on the same terms). When shards stay silent past the retry
-//! budget, each missing edge's contribution is replaced by its worst-case
-//! interval `[−total_outward, +total_inward]` (edge-lifetime crossing totals
-//! cached at startup), which provably brackets the synchronous value; the
-//! answer then carries `lower`/`upper` bounds, a `coverage < 1`, and the
-//! `degraded` flag.
+//! budget — or are skipped because their health slot reads unhealthy or
+//! recovering — each missing edge's contribution is replaced by its
+//! worst-case interval `[−total_outward, +total_inward]` (per-edge lifetime
+//! crossing totals, maintained atomically as events are ingested), which
+//! provably brackets the synchronous value; the answer then carries
+//! `lower`/`upper` bounds, a `coverage < 1`, and the `degraded` flag.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
 use stq_core::query::{Approximation, QueryKind, QueryRegion};
 use stq_core::sampled::SampledGraph;
 use stq_core::sensing::SensingGraph;
+use stq_core::tracker::Crossing;
 use stq_forms::{BoundaryEdge, FormStore, TrackingForm};
-use stq_net::FaultPlan;
+use stq_net::{DurabilityFaultPlan, FaultPlan};
 
 use crate::metrics::{Metrics, QueryTrace};
-use crate::shard::{EdgeCounts, ShardRequest, ShardResponse, ShardWorker};
+use crate::shard::{EdgeCounts, ShardHealth, ShardMsg, ShardRequest, ShardResponse, HEALTHY};
+use crate::supervisor::{IngestLane, Supervisor, SupervisorMsg};
+
+/// How often a waiting aggregator re-checks shard health, so a worker dying
+/// mid-attempt shortens the wait to one slice instead of the full timeout.
+const HEALTH_RECHECK: Duration = Duration::from_millis(5);
+
+/// Write-ahead-log + snapshot settings for the runtime.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Root directory; shard `i` persists under `wal-dir/shard-<i>/`.
+    /// Initialized fresh (base snapshot + empty WAL) at runtime startup.
+    pub wal_dir: PathBuf,
+    /// Appends between snapshot rollovers (snapshot installed atomically,
+    /// WAL truncated). Bounds recovery replay cost. A snapshot costs
+    /// O(shard state) plus an fsync while WAL records are 33 bytes each,
+    /// so this should stay large: replaying even 64 K records is ~2 MB of
+    /// sequential reads, far cheaper than snapshotting often.
+    pub snapshot_every: u64,
+    /// Appends between WAL syncs; a sync publishes the shard's durable
+    /// floor and lets the server trim its redo buffer.
+    pub sync_every: u64,
+    /// Seeded ingest-time crash injection (kill -9 with torn-tail cut).
+    pub faults: DurabilityFaultPlan,
+}
+
+impl DurabilityConfig {
+    /// Defaults: snapshot every 65536 appends, sync every 32, no faults.
+    pub fn new(wal_dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            wal_dir: wal_dir.into(),
+            snapshot_every: 65_536,
+            sync_every: 32,
+            faults: DurabilityFaultPlan::none(),
+        }
+    }
+}
 
 /// Tuning knobs of the runtime.
 #[derive(Clone, Debug)]
@@ -59,6 +106,12 @@ pub struct RuntimeConfig {
     pub max_retries: u32,
     /// Fault injection applied to shard traffic.
     pub fault: FaultPlan,
+    /// Consecutive panicked requests before a worker escalates to the
+    /// supervisor instead of serving on (0 disables escalation).
+    pub panic_threshold: u32,
+    /// WAL + snapshot persistence; `None` keeps state memory-only (the
+    /// redo buffer then retains every ingested event for exact respawns).
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -70,6 +123,8 @@ impl Default for RuntimeConfig {
             shard_timeout: Duration::from_millis(20),
             max_retries: 2,
             fault: FaultPlan::none(),
+            panic_threshold: 3,
+            durability: None,
         }
     }
 }
@@ -138,11 +193,15 @@ struct Job {
 struct ServerState {
     sensing: SensingGraph,
     sampled: SampledGraph,
-    /// Per-edge lifetime crossing totals `(forward, backward)` — the
-    /// degradation bounds for silent shards.
-    totals: Vec<(f64, f64)>,
+    /// Per-edge lifetime crossing counts `[forward, backward]` — the
+    /// degradation bounds for silent shards. Atomic because `ingest` grows
+    /// them while queries read them.
+    totals: Vec<[AtomicU64; 2]>,
     cfg: RuntimeConfig,
-    to_shards: Vec<Sender<ShardRequest>>,
+    to_shards: Vec<Sender<ShardMsg>>,
+    lanes: Arc<Vec<Mutex<IngestLane>>>,
+    health: Arc<Vec<AtomicU8>>,
+    durable_seq: Arc<Vec<AtomicU64>>,
     metrics: Arc<Metrics>,
 }
 
@@ -152,14 +211,16 @@ pub struct Runtime {
     state: Option<Arc<ServerState>>,
     jobs: Option<Sender<Job>>,
     dispatcher_threads: Vec<JoinHandle<()>>,
-    shard_threads: Vec<JoinHandle<()>>,
+    supervisor_thread: Option<JoinHandle<()>>,
+    supervisor_tx: Option<Sender<SupervisorMsg>>,
     next_id: AtomicU64,
 }
 
 impl Runtime {
     /// Builds the runtime: partitions `store`'s per-edge tracking forms
     /// across `cfg.num_shards` worker threads (edge `e` lives on shard
-    /// `e % num_shards`) and starts the dispatcher pool.
+    /// `e % num_shards`), starts the dispatcher pool, and puts every worker
+    /// under supervision.
     pub fn new(
         sensing: SensingGraph,
         sampled: SampledGraph,
@@ -185,38 +246,56 @@ impl Runtime {
         assert!(cfg.dispatchers >= 1, "need at least one dispatcher");
         let metrics = Arc::new(Metrics::new());
 
+        let ns = cfg.num_shards;
         let mut parts: Vec<HashMap<usize, TrackingForm>> =
-            (0..cfg.num_shards).map(|_| HashMap::new()).collect();
-        let mut bad: Vec<std::collections::HashSet<usize>> =
-            (0..cfg.num_shards).map(|_| std::collections::HashSet::new()).collect();
+            (0..ns).map(|_| HashMap::new()).collect();
+        let mut bad: Vec<HashSet<usize>> = (0..ns).map(|_| HashSet::new()).collect();
         for &e in quarantined {
-            bad[e % cfg.num_shards].insert(e);
+            bad[e % ns].insert(e);
         }
         let mut totals = Vec::with_capacity(store.num_edges());
         for e in 0..store.num_edges() {
             let form = store.form(e);
-            totals.push((form.total(true) as f64, form.total(false) as f64));
-            parts[e % cfg.num_shards].insert(e, form.clone());
+            totals.push([
+                AtomicU64::new(form.total(true) as u64),
+                AtomicU64::new(form.total(false) as u64),
+            ]);
+            parts[e % ns].insert(e, form.clone());
         }
 
-        let mut shard_threads = Vec::with_capacity(cfg.num_shards);
-        let mut to_shards = Vec::with_capacity(cfg.num_shards);
-        for (i, forms) in parts.into_iter().enumerate() {
-            let (tx, rx) = channel::unbounded::<ShardRequest>();
+        let mut to_shards = Vec::with_capacity(ns);
+        let mut receivers = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            let (tx, rx) = channel::unbounded::<ShardMsg>();
             to_shards.push(tx);
-            let worker = ShardWorker::new(
-                i,
-                forms,
-                std::mem::take(&mut bad[i]),
-                cfg.fault.clone(),
-                Arc::clone(&metrics),
-            );
-            let handle = std::thread::Builder::new()
-                .name(format!("stq-shard-{i}"))
-                .spawn(move || worker.run(rx))
-                .expect("spawn shard worker");
-            shard_threads.push(handle);
+            receivers.push(rx);
         }
+        let lanes: Arc<Vec<Mutex<IngestLane>>> = Arc::new(
+            (0..ns).map(|_| Mutex::new(IngestLane { next_seq: 0, buf: VecDeque::new() })).collect(),
+        );
+        let health: Arc<Vec<AtomicU8>> =
+            Arc::new((0..ns).map(|_| AtomicU8::new(HEALTHY)).collect());
+        let durable_seq: Arc<Vec<AtomicU64>> =
+            Arc::new((0..ns).map(|_| AtomicU64::new(0)).collect());
+
+        let (events_tx, events_rx) = channel::unbounded::<SupervisorMsg>();
+        let supervisor = Supervisor::start(
+            parts,
+            bad,
+            cfg.fault.clone(),
+            cfg.durability.clone(),
+            cfg.panic_threshold,
+            receivers,
+            Arc::clone(&lanes),
+            Arc::clone(&health),
+            Arc::clone(&durable_seq),
+            Arc::clone(&metrics),
+            events_tx.clone(),
+        );
+        let supervisor_thread = std::thread::Builder::new()
+            .name("stq-supervisor".into())
+            .spawn(move || supervisor.run(events_rx))
+            .expect("spawn supervisor");
 
         let state = Arc::new(ServerState {
             sensing,
@@ -224,6 +303,9 @@ impl Runtime {
             totals,
             cfg: cfg.clone(),
             to_shards,
+            lanes,
+            health,
+            durable_seq,
             metrics: Arc::clone(&metrics),
         });
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
@@ -247,7 +329,8 @@ impl Runtime {
             state: Some(state),
             jobs: Some(jobs_tx),
             dispatcher_threads,
-            shard_threads,
+            supervisor_thread: Some(supervisor_thread),
+            supervisor_tx: Some(events_tx),
             next_id: AtomicU64::new(0),
         }
     }
@@ -255,6 +338,76 @@ impl Runtime {
     /// The live metric registry (valid before and after shutdown).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Streams one boundary-crossing event into the owning shard. The event
+    /// is sequence-stamped, retained in the redo buffer until the shard
+    /// acknowledges durability, and folded into the shard's forms (and WAL)
+    /// by the worker. The per-edge lifetime totals grow *before* the shard
+    /// applies the event, so degradation bounds for silent shards stay
+    /// sound at every instant.
+    pub fn ingest(&self, c: Crossing) {
+        let st = self.state.as_ref().expect("runtime is running");
+        assert!(c.edge < st.totals.len(), "ingest for unknown edge {}", c.edge);
+        assert!(c.time.is_finite(), "crossing time must be finite");
+        let shard = c.edge % st.cfg.num_shards;
+        st.totals[c.edge][usize::from(!c.forward)].fetch_add(1, Ordering::Relaxed);
+        // The lane lock covers sequence assignment AND the channel send, so
+        // sequences arrive at the worker in order.
+        let mut lane = st.lanes[shard].lock();
+        let durable = st.durable_seq[shard].load(Ordering::Acquire);
+        while lane.buf.front().is_some_and(|&(s, _)| s <= durable) {
+            lane.buf.pop_front();
+        }
+        lane.next_seq += 1;
+        let seq = lane.next_seq;
+        lane.buf.push_back((seq, c));
+        let _ = st.to_shards[shard].send(ShardMsg::Ingest { seq, event: c });
+    }
+
+    /// Barrier: waits until every shard has applied all previously ingested
+    /// events (and synced its WAL, when durability is on). Returns each
+    /// shard's highest applied sequence number.
+    pub fn flush_ingest(&self) -> Vec<u64> {
+        let st = self.state.as_ref().expect("runtime is running");
+        let waits: Vec<Receiver<u64>> = st
+            .to_shards
+            .iter()
+            .map(|tx| {
+                let (ack_tx, ack_rx) = channel::bounded(1);
+                let _ = tx.send(ShardMsg::Flush(ack_tx));
+                ack_rx
+            })
+            .collect();
+        waits
+            .into_iter()
+            .map(|rx| rx.recv_timeout(Duration::from_secs(30)).expect("shard flush"))
+            .collect()
+    }
+
+    /// State digest per shard (see `stq_durability::state_digest`) — the
+    /// byte-identity witness recovery tests compare across runs.
+    pub fn shard_digests(&self) -> Vec<u64> {
+        let st = self.state.as_ref().expect("runtime is running");
+        let waits: Vec<Receiver<(usize, u64)>> = st
+            .to_shards
+            .iter()
+            .map(|tx| {
+                let (ack_tx, ack_rx) = channel::bounded(1);
+                let _ = tx.send(ShardMsg::Digest(ack_tx));
+                ack_rx
+            })
+            .collect();
+        waits
+            .into_iter()
+            .map(|rx| rx.recv_timeout(Duration::from_secs(30)).expect("shard digest").1)
+            .collect()
+    }
+
+    /// Current health of every shard.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        let st = self.state.as_ref().expect("runtime is running");
+        st.health.iter().map(|h| ShardHealth::from_u8(h.load(Ordering::Acquire))).collect()
     }
 
     /// Enqueues a query; blocks only when the submission queue is full.
@@ -290,7 +443,12 @@ impl Runtime {
         }
         // 2. Drop the last owner of the shard senders: shards drain and exit.
         self.state = None;
-        for h in self.shard_threads.drain(..) {
+        // 3. Tell the supervisor to stop respawning; it joins every worker
+        //    thread it ever spawned before returning.
+        if let Some(tx) = self.supervisor_tx.take() {
+            let _ = tx.send(SupervisorMsg::Shutdown);
+        }
+        if let Some(h) = self.supervisor_thread.take() {
             let _ = h.join();
         }
     }
@@ -362,34 +520,48 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
     let (tx, rx) = channel::unbounded::<ShardResponse>();
     let mut retries_used = 0u32;
 
+    let healthy = |shard: usize| st.health[shard].load(Ordering::Acquire) == HEALTHY;
     for attempt in 0..=st.cfg.max_retries {
-        // Shards whose worker panicked on this attempt: they answered (so
-        // the channel is live) but produced nothing — once every pending
-        // shard has failed, waiting out the timeout is pointless.
-        let mut panicked_now: std::collections::HashSet<usize> = std::collections::HashSet::new();
-        for (&shard, edges) in &pending {
+        // Unhealthy / recovering shards are skipped outright: their edges
+        // degrade to worst-case bounds instead of stalling the query. A
+        // shard that finishes recovery before a later attempt rejoins then.
+        let mut awaiting: HashSet<usize> =
+            pending.keys().copied().filter(|&s| healthy(s)).collect();
+        let skipped = pending.len() - awaiting.len();
+        if skipped > 0 {
+            Metrics::add(&st.metrics.skipped_unhealthy, skipped as u64);
+        }
+        for (&shard, edges) in pending.iter().filter(|(s, _)| awaiting.contains(s)) {
             Metrics::bump(&st.metrics.shard_requests);
-            let _ = st.to_shards[shard].send(ShardRequest {
+            let _ = st.to_shards[shard].send(ShardMsg::Query(ShardRequest {
                 query_id: id,
                 attempt,
                 kind: spec.kind,
                 edges: edges.clone(),
                 reply: tx.clone(),
-            });
+            }));
         }
+        let waited = !awaiting.is_empty();
+        // Shards whose worker panicked on this attempt: they answered (so
+        // the channel is live) but produced nothing — once every awaited
+        // shard has failed, waiting out the timeout is pointless.
+        let mut panicked_now: HashSet<usize> = HashSet::new();
         // Exponential backoff: attempt k waits 2^k × the base window.
         let deadline = Instant::now() + st.cfg.shard_timeout * (1u32 << attempt);
-        while !pending.is_empty() {
+        while !awaiting.is_empty() {
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
+            // Wait in short slices so a worker dying mid-attempt (health
+            // flips away from Healthy) releases the query after one slice
+            // instead of the full backoff window.
+            match rx.recv_timeout((deadline - now).min(HEALTH_RECHECK)) {
                 Ok(resp) if resp.panicked => {
-                    if pending.contains_key(&resp.shard) {
+                    if awaiting.contains(&resp.shard) {
                         panicked_now.insert(resp.shard);
-                        if pending.keys().all(|s| panicked_now.contains(s)) {
-                            break; // every outstanding shard failed; retry now
+                        if awaiting.iter().all(|s| panicked_now.contains(s)) {
+                            break; // every awaited shard failed; retry now
                         }
                     }
                 }
@@ -397,19 +569,31 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                     // First response per shard wins; duplicates and answers
                     // from superseded attempts are ignored.
                     if pending.remove(&resp.shard).is_some() {
+                        awaiting.remove(&resp.shard);
                         refused_total += resp.refused.len();
                         for c in resp.counts {
                             slots[c.idx] = Some(c);
                         }
                     }
                 }
-                Err(_) => break,
+                Err(_) => {
+                    let before = awaiting.len();
+                    awaiting.retain(|&s| healthy(s) || panicked_now.contains(&s));
+                    if awaiting.len() != before
+                        && !awaiting.is_empty()
+                        && awaiting.iter().all(|s| panicked_now.contains(s))
+                    {
+                        break;
+                    }
+                }
             }
         }
         if pending.is_empty() {
             break;
         }
-        Metrics::bump(&st.metrics.timeouts);
+        if waited {
+            Metrics::bump(&st.metrics.timeouts);
+        }
         if attempt < st.cfg.max_retries {
             retries_used += 1;
             Metrics::bump(&st.metrics.retries);
@@ -434,7 +618,8 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                 hi_b += c.b;
             }
             None => {
-                let (fwd, bwd) = st.totals[be.edge];
+                let fwd = st.totals[be.edge][0].load(Ordering::Relaxed) as f64;
+                let bwd = st.totals[be.edge][1].load(Ordering::Relaxed) as f64;
                 let (total_in, total_out) = if be.inward_forward { (fwd, bwd) } else { (bwd, fwd) };
                 lo_a -= total_out;
                 hi_a += total_in;

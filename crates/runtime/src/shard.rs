@@ -1,21 +1,78 @@
-//! Shard workers: each owns the tracking forms of the edges assigned to it
-//! and answers per-edge boundary contributions for the aggregator.
+//! Shard workers: each owns the tracking forms of the edges assigned to it,
+//! applies ingested boundary-crossing events (write-ahead-logged when
+//! durability is on), and answers per-edge boundary contributions for the
+//! aggregator.
 //!
-//! The arithmetic here deliberately mirrors `stq_forms::query` term by term
-//! (`count_until` differences folded as `f64`), so that an aggregator which
-//! re-folds the per-edge contributions in boundary order reproduces the
-//! synchronous path bit for bit — see `crate::server`.
+//! The query arithmetic here deliberately mirrors `stq_forms::query` term by
+//! term (`count_until` differences folded as `f64`), so that an aggregator
+//! which re-folds the per-edge contributions in boundary order reproduces
+//! the synchronous path bit for bit — see `crate::server`.
+//!
+//! ## Exits and supervision
+//!
+//! [`ShardWorker::run`] no longer only ends at shutdown: a scheduled
+//! durability fault kills the worker mid-ingest (simulated kill -9, WAL tail
+//! cut included), and `panic_threshold` consecutive poisoned requests make
+//! the worker *escalate* — mark itself unhealthy and exit — instead of
+//! letting every future query burn its retry budget against a sensor that
+//! panics deterministically. Both exits are reported to the supervisor
+//! (`crate::supervisor`), which recovers state and respawns.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
 use stq_core::query::QueryKind;
+use stq_core::tracker::Crossing;
+use stq_durability::recovery::apply_crossing;
+use stq_durability::{state_digest, ShardDurability};
 use stq_forms::{BoundaryEdge, TrackingForm};
-use stq_net::{FaultPlan, MessageCtx};
+use stq_net::{DurabilityFaultPlan, FaultPlan, MessageCtx};
 
 use crate::metrics::Metrics;
+
+/// Shard health states, stored as one `AtomicU8` per shard.
+pub(crate) const HEALTHY: u8 = 0;
+pub(crate) const UNHEALTHY: u8 = 1;
+pub(crate) const RECOVERING: u8 = 2;
+
+/// Externally visible health of one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving normally.
+    Healthy,
+    /// The worker escalated or died; the supervisor has not yet picked the
+    /// shard up. Queries skip it (degraded answers, sound bounds).
+    Unhealthy,
+    /// The supervisor is replaying snapshot + WAL; queries skip the shard
+    /// until it is re-admitted.
+    Recovering,
+}
+
+impl ShardHealth {
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            UNHEALTHY => ShardHealth::Unhealthy,
+            RECOVERING => ShardHealth::Recovering,
+            _ => ShardHealth::Healthy,
+        }
+    }
+}
+
+/// Everything a shard worker can be asked to do.
+pub(crate) enum ShardMsg {
+    /// Answer boundary contributions for one query.
+    Query(ShardRequest),
+    /// Apply one ingested crossing (WAL-logged when durability is on).
+    Ingest { seq: u64, event: Crossing },
+    /// Sync the WAL and reply with the highest applied sequence — the
+    /// barrier tests and benchmarks use to line states up.
+    Flush(Sender<u64>),
+    /// Reply with `(shard, state_digest)` of the in-memory forms.
+    Digest(Sender<(usize, u64)>),
+}
 
 /// A fan-out request: the boundary edges of one query that this shard owns,
 /// tagged with their position in the full boundary chain.
@@ -52,6 +109,42 @@ pub(crate) struct EdgeCounts {
     pub b: f64,
 }
 
+/// Why [`ShardWorker::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WorkerExit {
+    /// Every sender is gone: runtime shutdown. Not reported upward.
+    Shutdown,
+    /// `panic_threshold` consecutive requests panicked: the worker marked
+    /// the shard unhealthy and handed itself to the supervisor.
+    Escalated,
+    /// A scheduled durability fault killed the process mid-ingest (the WAL
+    /// tail was cut per the fault plan).
+    Killed,
+}
+
+/// Construction parameters of one worker (the supervisor builds these both
+/// at startup and on every respawn).
+pub(crate) struct WorkerSeed {
+    pub id: usize,
+    pub forms: HashMap<usize, TrackingForm>,
+    pub quarantined: HashSet<usize>,
+    pub plan: FaultPlan,
+    pub dfaults: DurabilityFaultPlan,
+    pub durability: Option<ShardDurability>,
+    /// Highest ingest sequence already folded into `forms` — the dedup
+    /// floor: queued channel messages at or below it were already applied
+    /// (directly or via recovery replay) and must be skipped.
+    pub last_seq: u64,
+    /// Fault-plan clock carried over from the previous incarnation, so
+    /// crash/poison windows keyed on delivered messages stay on schedule
+    /// across respawns.
+    pub delivered: u64,
+    pub panic_threshold: u32,
+    pub health: Arc<Vec<AtomicU8>>,
+    pub durable_seq: Arc<Vec<AtomicU64>>,
+    pub metrics: Arc<Metrics>,
+}
+
 /// The worker-side state of one shard.
 pub(crate) struct ShardWorker {
     id: usize,
@@ -60,34 +153,120 @@ pub(crate) struct ShardWorker {
     /// (corrupted) forms but refuses to serve them.
     quarantined: HashSet<usize>,
     plan: FaultPlan,
+    dfaults: DurabilityFaultPlan,
+    durability: Option<ShardDurability>,
+    last_seq: u64,
     delivered: u64,
+    consecutive_panics: u32,
+    panic_threshold: u32,
+    health: Arc<Vec<AtomicU8>>,
+    durable_seq: Arc<Vec<AtomicU64>>,
     metrics: Arc<Metrics>,
 }
 
 impl ShardWorker {
-    pub(crate) fn new(
-        id: usize,
-        forms: HashMap<usize, TrackingForm>,
-        quarantined: HashSet<usize>,
-        plan: FaultPlan,
-        metrics: Arc<Metrics>,
-    ) -> Self {
-        ShardWorker { id, forms, quarantined, plan, delivered: 0, metrics }
-    }
-
-    /// Serves requests until every sender is gone (runtime shutdown).
-    pub(crate) fn run(mut self, rx: Receiver<ShardRequest>) {
-        while let Ok(req) = rx.recv() {
-            self.handle(req);
+    pub(crate) fn new(seed: WorkerSeed) -> Self {
+        ShardWorker {
+            id: seed.id,
+            forms: seed.forms,
+            quarantined: seed.quarantined,
+            plan: seed.plan,
+            dfaults: seed.dfaults,
+            durability: seed.durability,
+            last_seq: seed.last_seq,
+            delivered: seed.delivered,
+            consecutive_panics: 0,
+            panic_threshold: seed.panic_threshold,
+            health: seed.health,
+            durable_seq: seed.durable_seq,
+            metrics: seed.metrics,
         }
     }
 
-    fn handle(&mut self, req: ShardRequest) {
+    /// Serves messages until shutdown, escalation, or a scheduled kill.
+    /// Returns the exit reason and the fault-plan clock to carry over.
+    pub(crate) fn run(mut self, rx: Receiver<ShardMsg>) -> (WorkerExit, u64) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ShardMsg::Query(req) => {
+                    if self.handle(req) {
+                        self.health[self.id].store(UNHEALTHY, Ordering::Release);
+                        Metrics::bump(&self.metrics.escalations);
+                        return (WorkerExit::Escalated, self.delivered);
+                    }
+                }
+                ShardMsg::Ingest { seq, event } => {
+                    if self.ingest(seq, &event) {
+                        self.health[self.id].store(UNHEALTHY, Ordering::Release);
+                        return (WorkerExit::Killed, self.delivered);
+                    }
+                }
+                ShardMsg::Flush(reply) => {
+                    let _ = reply.send(self.flush());
+                }
+                ShardMsg::Digest(reply) => {
+                    let _ = reply.send((self.id, state_digest(&self.forms)));
+                }
+            }
+        }
+        (WorkerExit::Shutdown, self.delivered)
+    }
+
+    /// Applies one ingested crossing. Returns true when a scheduled
+    /// durability fault kills the worker right after this append.
+    fn ingest(&mut self, seq: u64, c: &Crossing) -> bool {
+        if seq <= self.last_seq {
+            // Already applied — a redo-replayed event still queued in the
+            // channel from before the previous incarnation died.
+            return false;
+        }
+        debug_assert_eq!(seq, self.last_seq + 1, "ingest lane must hand out contiguous sequences");
+        self.last_seq = seq;
+        Metrics::bump(&self.metrics.ingested);
+        // The WAL records the event either way; live apply and recovery
+        // replay share `apply_crossing`, so both sides reject an
+        // out-of-order timestamp identically and states stay byte-identical.
+        if !apply_crossing(&mut self.forms, c) {
+            Metrics::bump(&self.metrics.late_dropped);
+        }
+        if let Some(d) = self.durability.as_mut() {
+            let mark = d.append(seq, c, &self.forms).expect("WAL append");
+            Metrics::bump(&self.metrics.wal_appends);
+            if mark.snapshotted {
+                Metrics::bump(&self.metrics.snapshots_taken);
+            }
+            if let Some(durable) = mark.durable_seq {
+                self.durable_seq[self.id].store(durable, Ordering::Release);
+            }
+            if self.dfaults.crash_due(self.id, seq) {
+                let d = self.durability.take().expect("durability present");
+                let surviving = self.dfaults.surviving_tail_bytes(self.id, seq, d.unsynced_bytes());
+                let _ = d.kill_cut(surviving);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Syncs the WAL (publishing the durable floor) and reports the highest
+    /// applied sequence. Without durability the floor is *not* advanced: the
+    /// server's redo buffer is then the only recovery source and must keep
+    /// every event.
+    fn flush(&mut self) -> u64 {
+        if let Some(d) = self.durability.as_mut() {
+            let durable = d.sync().expect("WAL sync");
+            self.durable_seq[self.id].store(durable, Ordering::Release);
+        }
+        self.last_seq
+    }
+
+    /// Serves one query request. Returns true when the worker escalates.
+    fn handle(&mut self, req: ShardRequest) -> bool {
         let seen = self.delivered;
         self.delivered += 1;
         if self.plan.is_crashed(self.id, seen) {
             Metrics::bump(&self.metrics.crash_dropped);
-            return; // a crashed sensor neither computes nor replies
+            return false; // a crashed sensor neither computes nor replies
         }
         let fate = self.plan.decide(MessageCtx {
             query_id: req.query_id,
@@ -96,7 +275,7 @@ impl ShardWorker {
         });
         if fate.drop {
             Metrics::bump(&self.metrics.dropped);
-            return;
+            return false;
         }
         if fate.delay_ms > 0 {
             Metrics::bump(&self.metrics.delayed);
@@ -124,7 +303,7 @@ impl ShardWorker {
         if !refused.is_empty() {
             Metrics::add(&self.metrics.quarantine_refusals, refused.len() as u64);
         }
-        let poison = fate.poison;
+        let poison = fate.poison || self.plan.scheduled_poison(self.id, seen);
         let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             served
                 .iter()
@@ -137,13 +316,22 @@ impl ShardWorker {
                 })
                 .collect::<Vec<_>>()
         }));
+        let mut escalate = false;
         let response = match computed {
             Ok(counts) => {
                 Metrics::bump(&self.metrics.shard_served);
+                self.consecutive_panics = 0;
                 ShardResponse { shard: self.id, counts, refused, panicked: false }
             }
             Err(_) => {
                 Metrics::bump(&self.metrics.shard_panics);
+                self.consecutive_panics += 1;
+                // A run of back-to-back panics is not per-query bad luck but
+                // a sick shard: reply (so the aggregator aborts fast), then
+                // escalate to the supervisor instead of letting every later
+                // query burn retries against it.
+                escalate =
+                    self.panic_threshold > 0 && self.consecutive_panics >= self.panic_threshold;
                 ShardResponse { shard: self.id, counts: Vec::new(), refused, panicked: true }
             }
         };
@@ -154,6 +342,7 @@ impl ShardWorker {
         // The aggregator may have timed out and dropped the receiver; a
         // failed send is simply a late answer nobody is waiting for.
         let _ = req.reply.send(response);
+        escalate
     }
 
     fn contribution(&self, idx: usize, be: BoundaryEdge, kind: QueryKind) -> EdgeCounts {

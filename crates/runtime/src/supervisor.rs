@@ -1,0 +1,280 @@
+//! The shard supervisor: spawns workers, watches for abnormal exits
+//! (scheduled kills, escalations), recovers their state, and respawns them.
+//!
+//! ## Recovery contract
+//!
+//! A worker's in-memory forms die with it. The supervisor rebuilds them from
+//! two sources that together always cover the full ingest stream:
+//!
+//! 1. **Durable state** — snapshot + WAL replay via
+//!    [`stq_durability::recover_shard`] (when durability is configured).
+//!    This restores every event up to some prefix of the stream; a torn WAL
+//!    tail only shortens the prefix.
+//! 2. **The redo buffer** — the server retains every ingested event whose
+//!    durability the shard has not yet acknowledged (`durable_seq`). Events
+//!    past the recovered prefix are re-appended to the WAL and re-applied
+//!    here, in sequence order, through the same
+//!    [`apply_crossing`](stq_durability::apply_crossing) rule the live path
+//!    uses.
+//!
+//! The recovered prefix never ends before `durable_seq` (synced bytes
+//! survive any crash) and the redo buffer starts no later than
+//! `durable_seq + 1`, so the composition is gapless: the respawned worker's
+//! state is **byte-identical** to an uninterrupted run. Without durability
+//! the buffer is simply never trimmed and recovery replays it in full on top
+//! of the startup forms — same argument, all in memory.
+//!
+//! While a shard recovers its health slot reads `Recovering`; the
+//! aggregator skips it and answers with sound widened `[lower, upper]`
+//! brackets (a skipped edge contributes its lifetime worst case). If the
+//! composition ever *does* have a gap (mid-log damage plus a trimmed
+//! buffer), the supervisor quarantines the whole shard's edges — refusals
+//! widen bounds soundly — rather than serving silently wrong counts; the
+//! full audit → repair pipeline can then be run offline (`stq recover`).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use stq_core::tracker::Crossing;
+use stq_durability::{apply_crossing, recover_shard, ShardDurability};
+use stq_forms::TrackingForm;
+use stq_net::{DurabilityFaultPlan, FaultPlan};
+
+use crate::metrics::Metrics;
+use crate::server::DurabilityConfig;
+use crate::shard::{ShardMsg, ShardWorker, WorkerExit, WorkerSeed, HEALTHY, RECOVERING};
+
+/// Per-shard ingest bookkeeping, shared between the server (sequence
+/// assignment, redo retention) and the supervisor (recovery replay).
+pub(crate) struct IngestLane {
+    /// Highest sequence number handed out.
+    pub next_seq: u64,
+    /// Events not yet acknowledged durable, oldest first. Trimmed against
+    /// the shard's `durable_seq`; without durability it retains everything.
+    pub buf: VecDeque<(u64, Crossing)>,
+}
+
+/// What a dying worker reports upward.
+pub(crate) struct WorkerEvent {
+    pub shard: usize,
+    pub exit: WorkerExit,
+    /// Fault-plan clock at death, carried into the next incarnation.
+    pub delivered: u64,
+}
+
+/// Messages the supervisor thread consumes.
+pub(crate) enum SupervisorMsg {
+    Worker(WorkerEvent),
+    Shutdown,
+}
+
+pub(crate) struct Supervisor {
+    durability: Option<DurabilityConfig>,
+    /// Startup forms per shard — the recovery base when durability is off
+    /// (`None` when durability is on: disk is the base then).
+    base: Option<Vec<HashMap<usize, TrackingForm>>>,
+    /// Audit quarantine per shard, re-imposed on every respawn.
+    quarantine: Vec<HashSet<usize>>,
+    plan: FaultPlan,
+    dfaults: DurabilityFaultPlan,
+    panic_threshold: u32,
+    receivers: Vec<Receiver<ShardMsg>>,
+    lanes: Arc<Vec<Mutex<IngestLane>>>,
+    health: Arc<Vec<AtomicU8>>,
+    durable_seq: Arc<Vec<AtomicU64>>,
+    metrics: Arc<Metrics>,
+    events_tx: Sender<SupervisorMsg>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Builds the supervisor and spawns the initial worker per shard.
+    /// `parts[i]` are shard `i`'s forms; with durability on, each shard's
+    /// directory is initialized with a base snapshot of them.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start(
+        parts: Vec<HashMap<usize, TrackingForm>>,
+        quarantine: Vec<HashSet<usize>>,
+        plan: FaultPlan,
+        durability: Option<DurabilityConfig>,
+        panic_threshold: u32,
+        receivers: Vec<Receiver<ShardMsg>>,
+        lanes: Arc<Vec<Mutex<IngestLane>>>,
+        health: Arc<Vec<AtomicU8>>,
+        durable_seq: Arc<Vec<AtomicU64>>,
+        metrics: Arc<Metrics>,
+        events_tx: Sender<SupervisorMsg>,
+    ) -> Self {
+        let dfaults =
+            durability.as_ref().map(|d| d.faults.clone()).unwrap_or_else(DurabilityFaultPlan::none);
+        let mut sup = Supervisor {
+            base: if durability.is_none() { Some(parts.clone()) } else { None },
+            durability,
+            quarantine,
+            plan,
+            dfaults,
+            panic_threshold,
+            receivers,
+            lanes,
+            health,
+            durable_seq,
+            metrics,
+            events_tx,
+            handles: Vec::new(),
+        };
+        for (i, forms) in parts.into_iter().enumerate() {
+            let shard_durability = sup.durability.as_ref().map(|cfg| {
+                ShardDurability::initialize(
+                    &cfg.wal_dir,
+                    i,
+                    &forms,
+                    0,
+                    cfg.snapshot_every,
+                    cfg.sync_every,
+                )
+                .expect("initialize shard durability")
+            });
+            let quarantined = sup.quarantine[i].clone();
+            sup.spawn_worker(i, forms, quarantined, shard_durability, 0, 0);
+        }
+        sup
+    }
+
+    /// The supervision loop: recover-and-respawn on every abnormal worker
+    /// exit until the runtime signals shutdown, then join every worker
+    /// thread ever spawned.
+    pub(crate) fn run(mut self, events_rx: Receiver<SupervisorMsg>) {
+        while let Ok(msg) = events_rx.recv() {
+            match msg {
+                SupervisorMsg::Worker(ev) => self.recover(ev),
+                SupervisorMsg::Shutdown => break,
+            }
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn recover(&mut self, ev: WorkerEvent) {
+        debug_assert_ne!(ev.exit, WorkerExit::Shutdown, "shutdown exits are not reported");
+        let shard = ev.shard;
+        let t0 = Instant::now();
+        self.health[shard].store(RECOVERING, Ordering::Release);
+        self.metrics.recovering.fetch_add(1, Ordering::Relaxed);
+
+        // The lane lock freezes the redo buffer and the sequence counter for
+        // the duration of the replay; concurrent `ingest` calls block, so
+        // nothing can slip between the replayed prefix and the respawned
+        // worker's dedup floor.
+        let lanes = Arc::clone(&self.lanes);
+        let lane = lanes[shard].lock();
+        let mut extra_quarantine: HashSet<usize> = HashSet::new();
+        let (mut forms, mut last_seq, mut durability) = match &self.durability {
+            Some(cfg) => {
+                match recover_shard(&cfg.wal_dir, shard, cfg.snapshot_every, cfg.sync_every) {
+                    Ok(rec) => {
+                        Metrics::add(&self.metrics.wal_replayed, rec.report.wal_records);
+                        (rec.forms, rec.report.recovered_seq, Some(rec.durability))
+                    }
+                    Err(_) => {
+                        // Disk is unreadable: serve nothing from this shard
+                        // (every edge refused → sound widened bounds) rather
+                        // than guessing at state.
+                        extra_quarantine.extend(lane.buf.iter().map(|&(_, c)| c.edge));
+                        (HashMap::new(), lane.next_seq, None)
+                    }
+                }
+            }
+            None => (
+                self.base.as_ref().expect("base forms kept when durability is off")[shard].clone(),
+                0,
+                None,
+            ),
+        };
+
+        // Redo: everything in the retention buffer past the recovered
+        // prefix, re-appended and re-applied in sequence order.
+        if let Some(&(first, _)) = lane.buf.front() {
+            if first > last_seq + 1 {
+                // A gap the buffer cannot bridge (mid-log damage past the
+                // durable floor). Sound fallback: quarantine the shard —
+                // refusals widen every answer's bounds — and hand the gap to
+                // the offline audit → repair path.
+                Metrics::add(&self.metrics.lost_events, first - last_seq - 1);
+                extra_quarantine.extend(forms.keys().copied());
+                extra_quarantine.extend(lane.buf.iter().map(|&(_, c)| c.edge));
+                durability = None;
+                last_seq = first - 1;
+            }
+        }
+        let mut redone = 0u64;
+        let floor = last_seq;
+        for &(seq, ref c) in lane.buf.iter().filter(|&&(seq, _)| seq > floor) {
+            apply_crossing(&mut forms, c);
+            if let Some(d) = durability.as_mut() {
+                d.append(seq, c, &forms).expect("redo WAL append");
+            }
+            last_seq = seq;
+            redone += 1;
+        }
+        Metrics::add(&self.metrics.redo_replayed, redone);
+        if let Some(d) = durability.as_mut() {
+            let durable = d.sync().expect("redo WAL sync");
+            self.durable_seq[shard].store(durable, Ordering::Release);
+        }
+        debug_assert_eq!(last_seq, lane.next_seq, "redo must reach the lane head");
+
+        let mut quarantined = self.quarantine[shard].clone();
+        quarantined.extend(extra_quarantine);
+        self.spawn_worker(shard, forms, quarantined, durability, last_seq, ev.delivered);
+        drop(lane);
+
+        self.health[shard].store(HEALTHY, Ordering::Release);
+        self.metrics.recovering.fetch_sub(1, Ordering::Relaxed);
+        Metrics::bump(&self.metrics.shard_respawns);
+        self.metrics.recovery_us.record(t0.elapsed().as_micros() as u64);
+    }
+
+    fn spawn_worker(
+        &mut self,
+        shard: usize,
+        forms: HashMap<usize, TrackingForm>,
+        quarantined: HashSet<usize>,
+        durability: Option<ShardDurability>,
+        last_seq: u64,
+        delivered: u64,
+    ) {
+        let worker = ShardWorker::new(WorkerSeed {
+            id: shard,
+            forms,
+            quarantined,
+            plan: self.plan.clone(),
+            dfaults: self.dfaults.clone(),
+            durability,
+            last_seq,
+            delivered,
+            panic_threshold: self.panic_threshold,
+            health: Arc::clone(&self.health),
+            durable_seq: Arc::clone(&self.durable_seq),
+            metrics: Arc::clone(&self.metrics),
+        });
+        let rx = self.receivers[shard].clone();
+        let events = self.events_tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("stq-shard-{shard}"))
+            .spawn(move || {
+                let (exit, delivered) = worker.run(rx);
+                if exit != WorkerExit::Shutdown {
+                    let _ =
+                        events.send(SupervisorMsg::Worker(WorkerEvent { shard, exit, delivered }));
+                }
+            })
+            .expect("spawn shard worker");
+        self.handles.push(handle);
+    }
+}

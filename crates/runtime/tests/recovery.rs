@@ -1,0 +1,367 @@
+//! Crash-recovery tests of the supervised runtime: a shard worker killed
+//! mid-ingest (kill -9 semantics, torn WAL tail included) must come back
+//! with **byte-identical** tracking-form state, queries against a
+//! recovering shard must keep returning sound brackets, and workers that
+//! panic repeatedly must escalate to the supervisor and heal.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use stq_core::prelude::*;
+use stq_core::query::evaluate;
+use stq_core::tracker::Crossing;
+use stq_forms::FormStore;
+use stq_runtime::{
+    CrashWindow, DurabilityConfig, DurabilityFaultPlan, FaultPlan, QuerySpec, Runtime,
+    RuntimeConfig, ShardHealth,
+};
+
+struct Fixture {
+    scenario: Scenario,
+    sampled: SampledGraph,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: std::sync::OnceLock<Fixture> = std::sync::OnceLock::new();
+    FIX.get_or_init(|| {
+        let scenario = Scenario::build(ScenarioConfig {
+            junctions: 140,
+            mix: WorkloadMix { random_waypoint: 14, commuter: 8, transit: 4 },
+            seed: 53,
+            ..Default::default()
+        });
+        let cands = scenario.sensing.sensor_candidates();
+        let ids = stq_sampling::sample(
+            stq_sampling::SamplingMethod::QuadTree,
+            &cands,
+            cands.len() / 4,
+            5,
+        );
+        let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+        let sampled =
+            SampledGraph::from_sensors(&scenario.sensing, &faces, Connectivity::Triangulation);
+        Fixture { scenario, sampled }
+    })
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "stq-rt-rec-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A deterministic ingest stream: event `i` crosses edge `i % num_edges` at
+/// a time far past everything the scenario pre-recorded, so the oracle
+/// store can absorb it with plain `record` (strictly monotone everywhere).
+fn stream(num_edges: usize, n: usize) -> Vec<Crossing> {
+    (0..n)
+        .map(|i| Crossing {
+            time: 10_000.0 + i as f64 * 0.25,
+            edge: i % num_edges,
+            forward: i % 3 != 0,
+        })
+        .collect()
+}
+
+fn runtime(f: &Fixture, cfg: RuntimeConfig) -> Runtime {
+    Runtime::new(f.scenario.sensing.clone(), f.sampled.clone(), &f.scenario.tracked.store, cfg)
+}
+
+fn durable_cfg(dir: &std::path::Path, faults: DurabilityFaultPlan) -> Option<DurabilityConfig> {
+    Some(DurabilityConfig {
+        wal_dir: dir.to_path_buf(),
+        snapshot_every: 64,
+        sync_every: 16,
+        faults,
+    })
+}
+
+fn specs(f: &Fixture, n: usize, seed: u64) -> Vec<QuerySpec> {
+    f.scenario
+        .make_queries(n, 0.15, 1_500.0, seed)
+        .into_iter()
+        .flat_map(|(region, t0, t1)| {
+            // Also query *inside* the ingested era so the new events matter.
+            [
+                QueryKind::Snapshot(t0),
+                QueryKind::Snapshot(10_500.0),
+                QueryKind::Transient(t0, 11_000.0),
+                QueryKind::Static(t1, 10_800.0),
+            ]
+            .into_iter()
+            .map(move |kind| QuerySpec {
+                region: region.clone(),
+                kind,
+                approx: Approximation::Lower,
+            })
+        })
+        .collect()
+}
+
+/// The synchronous oracle over an explicitly maintained store.
+fn sync_value(f: &Fixture, oracle: &FormStore, spec: &QuerySpec) -> Option<f64> {
+    let covered = match spec.approx {
+        Approximation::Lower => f.sampled.resolve_lower(&spec.region.junctions),
+        Approximation::Upper => f.sampled.resolve_upper(&spec.region.junctions),
+    };
+    if covered.is_empty() {
+        return None;
+    }
+    let boundary = f.scenario.sensing.boundary_of(&covered, Some(f.sampled.monitored()));
+    Some(evaluate(oracle, &boundary, spec.kind))
+}
+
+#[test]
+fn kill_mid_ingest_recovers_byte_identical_state() {
+    let f = fixture();
+    let ne = f.scenario.sensing.num_edges();
+    let events = stream(ne, 900);
+    let ns = 3;
+
+    // Reference run: same stream, no faults, no durability — its final
+    // shard digests are the uninterrupted truth.
+    let rt_ref = runtime(f, RuntimeConfig { num_shards: ns, ..RuntimeConfig::default() });
+    for &c in &events {
+        rt_ref.ingest(c);
+    }
+    rt_ref.flush_ingest();
+    let want = rt_ref.shard_digests();
+    rt_ref.shutdown();
+
+    // Killed run: durability on, two scheduled kill -9s on shard 0 — one
+    // mid-batch, one after a flush barrier so it provably fires live.
+    let dir = tmpdir("kill");
+    let faults = DurabilityFaultPlan::killing(0xfeed_beef, &[(0, 50), (0, 220)]);
+    let rt = runtime(
+        f,
+        RuntimeConfig {
+            num_shards: ns,
+            durability: durable_cfg(&dir, faults),
+            ..RuntimeConfig::default()
+        },
+    );
+    let (first, rest) = events.split_at(events.len() / 2);
+    for &c in first {
+        rt.ingest(c);
+    }
+    // Barrier: the respawned worker answers the flush, so this both proves
+    // the first kill was survived and lines the lanes up for the second.
+    let applied = rt.flush_ingest();
+    assert_eq!(applied.iter().sum::<u64>(), first.len() as u64);
+    for &c in rest {
+        rt.ingest(c);
+    }
+    rt.flush_ingest();
+
+    assert_eq!(rt.shard_digests(), want, "recovered state must be byte-identical");
+    assert!(
+        rt.shard_health().iter().all(|h| *h == ShardHealth::Healthy),
+        "all shards re-admitted after recovery"
+    );
+    let report = rt.metrics().report();
+    assert!(report.shard_respawns >= 2, "both scheduled kills must fire: {report}");
+    assert!(report.wal_replayed + report.redo_replayed > 0, "recovery must replay something");
+    assert_eq!(report.recovering, 0);
+    // Live ingests plus redo replays cover the stream (they overlap on the
+    // events the dead worker applied past the durable floor) and dedup
+    // keeps live ingests from exceeding it.
+    assert!(report.ingested <= events.len() as u64);
+    assert!(report.ingested + report.redo_replayed >= events.len() as u64);
+    assert!(report.snapshots_taken > 0, "stream is long enough to roll snapshots");
+    rt.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn clean_restart_from_disk_matches_memory() {
+    // No faults at all: durable state written by one runtime equals the
+    // in-memory truth record for record (covers WAL + snapshot + replay on
+    // the happy path, through the public API).
+    let f = fixture();
+    let ne = f.scenario.sensing.num_edges();
+    let events = stream(ne, 300);
+    let dir = tmpdir("clean");
+    let rt = runtime(
+        f,
+        RuntimeConfig {
+            num_shards: 2,
+            durability: durable_cfg(&dir, DurabilityFaultPlan::none()),
+            ..RuntimeConfig::default()
+        },
+    );
+    for &c in &events {
+        rt.ingest(c);
+    }
+    rt.flush_ingest();
+    let want = rt.shard_digests();
+    rt.shutdown();
+
+    for (shard, &live) in want.iter().enumerate() {
+        let rec = stq_durability::recover_shard(&dir, shard, 64, 16).unwrap();
+        assert_eq!(rec.digest(), live, "disk state must equal the live shard digest");
+        assert!(!rec.report.torn_tail && !rec.report.seq_break);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn post_recovery_answers_bracket_the_oracle() {
+    let f = fixture();
+    let ne = f.scenario.sensing.num_edges();
+    let events = stream(ne, 600);
+
+    let mut oracle = f.scenario.tracked.store.clone();
+    for c in &events {
+        oracle.record(c.edge, c.forward, c.time);
+    }
+
+    let dir = tmpdir("bracket");
+    let faults = DurabilityFaultPlan::killing(0x0dd_cafe, &[(0, 40), (1, 70)]);
+    let rt = runtime(
+        f,
+        RuntimeConfig {
+            num_shards: 3,
+            durability: durable_cfg(&dir, faults),
+            ..RuntimeConfig::default()
+        },
+    );
+    for &c in &events {
+        rt.ingest(c);
+    }
+    rt.flush_ingest();
+
+    let mut exact_seen = 0usize;
+    for spec in specs(f, 6, 71) {
+        let served = rt.query(spec.clone());
+        let Some(exact) = sync_value(f, &oracle, &spec) else {
+            assert!(served.miss);
+            continue;
+        };
+        assert!(
+            served.lower <= exact + 1e-9 && exact <= served.upper + 1e-9,
+            "post-recovery bounds [{}, {}] must bracket oracle {exact} (coverage {})",
+            served.lower,
+            served.upper,
+            served.coverage
+        );
+        if served.coverage == 1.0 {
+            exact_seen += 1;
+            assert_eq!(
+                served.value.to_bits(),
+                exact.to_bits(),
+                "full coverage after recovery must be bit-identical to the oracle"
+            );
+        }
+    }
+    assert!(exact_seen > 0, "healthy recovered shards must serve exact answers");
+    assert!(rt.metrics().report().shard_respawns >= 1);
+    rt.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repeated_panics_escalate_then_heal() {
+    // Shard 0's sensor firmware panics on its first 6 queries (a persistent
+    // fault window, not per-message bad luck). With panic_threshold = 2 the
+    // worker escalates after two back-to-back panics; the supervisor
+    // respawns it with the fault clock carried over, so the window burns
+    // down across incarnations and serving then returns to exact.
+    let f = fixture();
+    let cfg = RuntimeConfig {
+        num_shards: 2,
+        dispatchers: 1,
+        shard_timeout: Duration::from_millis(50),
+        max_retries: 1,
+        fault: FaultPlan::none().with_poison_window(CrashWindow {
+            node: 0,
+            after_messages: 0,
+            lasts_messages: 6,
+        }),
+        panic_threshold: 2,
+        ..RuntimeConfig::default()
+    };
+    let rt = runtime(f, cfg);
+    let oracle = &f.scenario.tracked.store;
+
+    let all: Vec<QuerySpec> =
+        specs(f, 8, 91).into_iter().filter(|s| sync_value(f, oracle, s).is_some()).collect();
+    assert!(all.len() >= 10, "need enough covered queries to outlast the fault window");
+    let mut healed = false;
+    for spec in &all {
+        let served = rt.query(spec.clone());
+        let exact = sync_value(f, oracle, spec).unwrap();
+        assert!(
+            served.lower <= exact + 1e-9 && exact <= served.upper + 1e-9,
+            "every answer during escalation must stay sound"
+        );
+        if served.coverage == 1.0 {
+            assert_eq!(served.value.to_bits(), exact.to_bits());
+            healed = true;
+        }
+    }
+    assert!(healed, "the fault window must end and exact serving resume");
+    // Wait out any recovery still in flight, then the healed shard must
+    // serve exactly again.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !rt.shard_health().iter().all(|h| *h == ShardHealth::Healthy) {
+        assert!(std::time::Instant::now() < deadline, "recovery must finish promptly");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let served = rt.query(all[0].clone());
+    assert_eq!(served.coverage, 1.0, "healed shard must serve again");
+
+    let report = rt.metrics().report();
+    assert!(report.escalations >= 1, "consecutive panics must escalate: {report}");
+    assert!(report.shard_respawns >= 1, "escalated worker must be respawned");
+    assert!(report.escalations <= report.shard_panics, "escalation only after repeated panics");
+    assert!(rt.metrics().report().recovering == 0);
+    assert!(rt.shard_health().iter().all(|h| *h == ShardHealth::Healthy));
+    rt.shutdown();
+}
+
+#[test]
+fn queries_during_recovery_stay_sound_and_fast() {
+    // A permanently-poisoned shard 0 with escalation enabled cycles through
+    // unhealthy → recovering → healthy → poisoned again. Queries issued
+    // throughout must neither hang nor return unsound values: a skipped or
+    // panicking shard degrades the answer to its worst-case interval.
+    let f = fixture();
+    let cfg = RuntimeConfig {
+        num_shards: 2,
+        dispatchers: 2,
+        shard_timeout: Duration::from_secs(2),
+        max_retries: 1,
+        fault: FaultPlan::none().with_poison(1.0),
+        panic_threshold: 1,
+        ..RuntimeConfig::default()
+    };
+    let rt = runtime(f, cfg);
+    let oracle = &f.scenario.tracked.store;
+    let start = std::time::Instant::now();
+    let mut covered = 0usize;
+    for spec in specs(f, 5, 103) {
+        let served = rt.query(spec.clone());
+        let Some(exact) = sync_value(f, oracle, &spec) else {
+            continue;
+        };
+        covered += 1;
+        assert!(served.degraded, "poisoned shards cannot produce exact answers");
+        assert!(served.lower <= exact + 1e-9 && exact <= served.upper + 1e-9);
+    }
+    assert!(covered > 0);
+    assert!(
+        start.elapsed() < Duration::from_secs(4),
+        "escalation + health pruning must avoid serial timeout waits"
+    );
+    let report = rt.metrics().report();
+    assert!(report.escalations >= 1);
+    assert!(report.shard_respawns >= 1);
+    rt.shutdown();
+}
