@@ -124,12 +124,11 @@ fn main() {
     let mut hops_server = Vec::new();
     let mut hops_walk = Vec::new();
     for (q, _, _) in s.make_queries(25, 0.04, 2_000.0, 0x171) {
-        let covered = g.resolve_lower(&q.junctions);
-        if covered.is_empty() {
+        let plan = QueryPlan::compile(&s.sensing, &g, &q, Approximation::Lower);
+        if plan.miss {
             continue;
         }
-        let b = s.sensing.boundary_of(&covered, Some(g.monitored()));
-        let perimeter = s.sensing.boundary_sensors(&b);
+        let perimeter = s.sensing.boundary_sensors(&plan.boundary);
         if perimeter.is_empty() {
             continue;
         }

@@ -86,9 +86,8 @@ fn main() {
                 node_reduction.push(1.0 - oq.nodes_accessed as f64 / flooded.len() as f64);
                 // Simulated in-network cost: walking the sampled perimeter
                 // vs flooding the whole region on the full sensing network.
-                let covered = gq.resolve_lower(&q.junctions);
-                let boundary = s.sensing.boundary_of(&covered, Some(gq.monitored()));
-                let perimeter = s.sensing.boundary_sensors(&boundary);
+                let plan = QueryPlan::compile(&s.sensing, gq, q, Approximation::Lower);
+                let perimeter = s.sensing.boundary_sensors(&plan.boundary);
                 if !perimeter.is_empty() {
                     let walk = net.perimeter_traversal(perimeter[0], &perimeter);
                     let flood = full_net.flood(flooded[0], &flooded);

@@ -106,15 +106,11 @@ fn specs(s: &Scenario, n: usize, seed: u64) -> Vec<QuerySpec> {
 
 /// The synchronous oracle over an explicitly maintained store.
 fn sync_value(s: &Scenario, g: &SampledGraph, oracle: &FormStore, spec: &QuerySpec) -> Option<f64> {
-    let covered = match spec.approx {
-        Approximation::Lower => g.resolve_lower(&spec.region.junctions),
-        Approximation::Upper => g.resolve_upper(&spec.region.junctions),
-    };
-    if covered.is_empty() {
+    let plan = QueryPlan::compile(&s.sensing, g, &spec.region, spec.approx);
+    if plan.miss {
         return None;
     }
-    let boundary = s.sensing.boundary_of(&covered, Some(g.monitored()));
-    Some(evaluate(oracle, &boundary, spec.kind))
+    Some(evaluate(oracle, &plan.boundary, spec.kind))
 }
 
 struct SweepOutcome {

@@ -61,11 +61,11 @@ fn workload(s: &Scenario, g: &SampledGraph, want: usize) -> (Vec<QuerySpec>, f64
     while specs.len() < want * 3 && salt < 64 {
         salt += 1;
         for (region, t0, t1) in s.make_queries(want, 0.015, 2_000.0, SEEDS[0] ^ (0xb0 + salt)) {
-            let covered = g.resolve_lower(&region.junctions);
-            if covered.is_empty() {
+            let plan = QueryPlan::compile(&s.sensing, g, &region, Approximation::Lower);
+            if plan.miss {
                 continue;
             }
-            let b = s.sensing.boundary_of(&covered, Some(g.monitored())).len();
+            let b = plan.boundary.len();
             if !(1..=10).contains(&b) {
                 continue;
             }

@@ -13,7 +13,7 @@
 //! actual perimeter sizes so experiments (the `theory` binary) can compare
 //! prediction against measurement.
 
-use crate::query::QueryRegion;
+use crate::query::{Approximation, QueryRegion};
 use crate::sampled::SampledGraph;
 use crate::sensing::SensingGraph;
 use stq_planar::paths::mean_path_length;
@@ -81,14 +81,11 @@ pub fn measure_costs(
     queries
         .iter()
         .map(|q| {
-            let covered = sampled.resolve_lower(&q.junctions);
-            let sampled_perimeter = if covered.is_empty() {
-                0
-            } else {
-                let b = sensing.boundary_of(&covered, Some(sampled.monitored()));
-                sensing.boundary_sensors(&b).len()
-            };
-            MeasuredCost { sampled_perimeter, flooded: sensing.sensors_in_rect(&q.rect).len() }
+            let plan = crate::engine::QueryPlan::compile(sensing, sampled, q, Approximation::Lower);
+            MeasuredCost {
+                sampled_perimeter: plan.nodes_accessed,
+                flooded: sensing.sensors_in_rect(&q.rect).len(),
+            }
         })
         .collect()
 }

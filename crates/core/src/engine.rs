@@ -1,0 +1,499 @@
+//! The query engine: compile a region once, execute it many times.
+//!
+//! Every answer path in the framework evaluates a 1-form along a region's
+//! boundary chain (§4.7) — and before this layer existed, each of them
+//! re-derived that chain per query: resolve the region against the sampled
+//! graph, walk the boundary, then separately re-walk it for the sensor
+//! count. The engine splits that work the way distributed spatial systems
+//! do:
+//!
+//! - **Plan** ([`QueryPlan::compile`]): resolve the region (§4.6), walk the
+//!   boundary *once* — collecting the deduplicated inward-oriented chain,
+//!   the interior-cell set, and the distinct incident sensors in the same
+//!   pass — and freeze the result. A plan is independent of the query kind
+//!   and of the count store: the same plan answers snapshot, transient and
+//!   static queries against exact, learned, columnar or private stores.
+//! - **Cache** ([`QueryEngine`]): plans are memoized in a bounded LRU keyed
+//!   by a fingerprint of the region's junction set and resolution side.
+//!   Repeated and batched queries over the same region skip resolution and
+//!   the boundary walk entirely.
+//! - **Execute** ([`QueryPlan::execute`], [`QueryEngine::execute_batch`]):
+//!   fold the plan's boundary against a [`CountSource`]. The fold visits
+//!   edges in the plan's (deterministic) chain order, so results are
+//!   bit-identical to the scalar `evaluate` path; batches fan out across
+//!   worker threads, one plan per task.
+//!
+//! ## Cache invalidation
+//!
+//! A plan bakes in the sampled graph's region resolution, so it is valid
+//! exactly as long as that graph is. [`SampledGraph`] is immutable —
+//! quarantine ([`demote_edges`](SampledGraph::demote_edges)), failover
+//! rerouting ([`reroute_around`](SampledGraph::reroute_around)) and repair
+//! all produce *new* graphs — therefore any holder that swaps graphs must
+//! call [`QueryEngine::invalidate`] at the swap. The serving runtime does
+//! this on supervisor-driven recovery (which may extend quarantine); the
+//! offline paths compile against a single graph per call and need no
+//! invalidation. Demotion only ever shrinks the monitored edge set, so a
+//! *stale* plan is still sound in the bracketing sense (its boundary is a
+//! superset chain of a coarser resolution) — invalidation is about serving
+//! the freshest resolution, not about correctness of bounds.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::query::{evaluate, Approximation, QueryKind, QueryOutcome, QueryRegion};
+use crate::sampled::SampledGraph;
+use crate::sensing::SensingGraph;
+use stq_forms::{BoundaryEdge, CountSource};
+use stq_planar::embedding::VertexId;
+
+/// Stable identity of a compiled plan: the region fingerprint that keys the
+/// engine's cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanId(pub u64);
+
+/// A compiled, reusable query plan: everything about a region that does not
+/// depend on the query kind or the count store.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Cache identity (fingerprint of junction set + resolution side).
+    pub id: PlanId,
+    /// The resolved interior cells, sorted (empty on a miss).
+    pub interior: Vec<VertexId>,
+    /// Deduplicated boundary chain, oriented inward, in deterministic
+    /// (sorted-vertex walk) order — the fold order of every execution.
+    pub boundary: Vec<BoundaryEdge>,
+    /// Distinct sensors incident to the boundary — the nodes a
+    /// perimeter-based evaluation contacts.
+    pub nodes_accessed: usize,
+    /// The sampled graph could not resolve the region at all (§5.5).
+    pub miss: bool,
+}
+
+/// FNV-1a over the sorted junction ids plus a resolution tag.
+fn fingerprint(junctions: &[VertexId], tag: u8) -> PlanId {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(tag);
+    for &j in junctions {
+        for b in (j as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    PlanId(h)
+}
+
+fn sorted_junctions(region: &QueryRegion) -> Vec<VertexId> {
+    let mut v: Vec<VertexId> = region.junctions.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+impl QueryPlan {
+    /// Compiles a plan on a sampled graph: resolve the region to its
+    /// `approx` side, then derive boundary chain + sensor count in one
+    /// pass.
+    pub fn compile(
+        sensing: &SensingGraph,
+        sampled: &SampledGraph,
+        region: &QueryRegion,
+        approx: Approximation,
+    ) -> QueryPlan {
+        let key = sorted_junctions(region);
+        let tag = match approx {
+            Approximation::Lower => 0,
+            Approximation::Upper => 1,
+        };
+        let id = fingerprint(&key, tag);
+        let covered = match approx {
+            Approximation::Lower => sampled.resolve_lower(&region.junctions),
+            Approximation::Upper => sampled.resolve_upper(&region.junctions),
+        };
+        if covered.is_empty() {
+            return QueryPlan {
+                id,
+                interior: Vec::new(),
+                boundary: Vec::new(),
+                nodes_accessed: 0,
+                miss: true,
+            };
+        }
+        let (boundary, nodes_accessed) =
+            sensing.boundary_with_sensors(&covered, Some(sampled.monitored()));
+        let mut interior: Vec<VertexId> = covered.into_iter().collect();
+        interior.sort_unstable();
+        QueryPlan { id, interior, boundary, nodes_accessed, miss: false }
+    }
+
+    /// Compiles the ground-truth plan on the *unsampled* graph: the query's
+    /// own junction set, every edge eligible. Never a miss (an empty region
+    /// integrates to zero, matching `ground_truth` semantics).
+    pub fn compile_exact(sensing: &SensingGraph, region: &QueryRegion) -> QueryPlan {
+        let interior = sorted_junctions(region);
+        let id = fingerprint(&interior, 2);
+        let (boundary, nodes_accessed) = sensing.boundary_with_sensors(&region.junctions, None);
+        QueryPlan { id, interior, boundary, nodes_accessed, miss: false }
+    }
+
+    /// Number of junction cells the plan's resolution covers.
+    pub fn covered_cells(&self) -> usize {
+        self.interior.len()
+    }
+
+    /// Executes one query kind against `store`, folding the boundary in
+    /// plan order — bit-identical to the scalar
+    /// [`crate::query::evaluate`] fold over the same chain.
+    pub fn execute<S: CountSource + ?Sized>(&self, store: &S, kind: QueryKind) -> QueryOutcome {
+        if self.miss {
+            return QueryOutcome {
+                value: 0.0,
+                miss: true,
+                nodes_accessed: 0,
+                edges_accessed: 0,
+                covered_cells: 0,
+            };
+        }
+        QueryOutcome {
+            value: evaluate(store, &self.boundary, kind),
+            miss: false,
+            nodes_accessed: self.nodes_accessed,
+            edges_accessed: self.boundary.len(),
+            covered_cells: self.interior.len(),
+        }
+    }
+}
+
+/// Point-in-time cache accounting of a [`QueryEngine`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans compiled because no (valid) cached entry existed.
+    pub misses: u64,
+    /// Wholesale cache clears (graph swaps).
+    pub invalidations: u64,
+    /// Entries currently cached.
+    pub cached: usize,
+}
+
+struct CacheEntry {
+    plan: Arc<QueryPlan>,
+    /// Sorted junction ids — verified on every hit so a fingerprint
+    /// collision degrades to a recompile, never to a wrong plan.
+    key: Vec<VertexId>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct PlanCache {
+    map: HashMap<u64, CacheEntry>,
+    tick: u64,
+}
+
+/// A bounded plan cache plus a batched parallel executor.
+///
+/// One engine serves one logical deployment (a `sensing` + `sampled` pair);
+/// callers that swap the sampled graph — quarantine, reroute, recovery —
+/// must [`invalidate`](Self::invalidate) at the swap (see the module docs
+/// for why stale plans are still *sound*, just stale).
+pub struct QueryEngine {
+    capacity: usize,
+    cache: Mutex<PlanCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("QueryEngine").field("capacity", &self.capacity).field("stats", &s).finish()
+    }
+}
+
+impl QueryEngine {
+    /// An engine caching up to `capacity` plans (0 disables caching: every
+    /// [`plan`](Self::plan) call compiles).
+    pub fn new(capacity: usize) -> Self {
+        QueryEngine {
+            capacity,
+            cache: Mutex::new(PlanCache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the plan for `region`/`approx`, compiling on a cache miss.
+    /// The flag is `true` when the plan came from the cache.
+    pub fn plan(
+        &self,
+        sensing: &SensingGraph,
+        sampled: &SampledGraph,
+        region: &QueryRegion,
+        approx: Approximation,
+    ) -> (Arc<QueryPlan>, bool) {
+        let key = sorted_junctions(region);
+        let tag = match approx {
+            Approximation::Lower => 0,
+            Approximation::Upper => 1,
+        };
+        let id = fingerprint(&key, tag);
+        if self.capacity > 0 {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if let Some(entry) = cache.map.get_mut(&id.0) {
+                if entry.key == key {
+                    entry.last_used = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return (Arc::clone(&entry.plan), true);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(QueryPlan::compile(sensing, sampled, region, approx));
+        if self.capacity > 0 {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            cache.tick += 1;
+            let tick = cache.tick;
+            if cache.map.len() >= self.capacity && !cache.map.contains_key(&id.0) {
+                // Evict the least-recently-used entry (linear scan: the
+                // cache is small and bounded, and this path is already a
+                // compile).
+                if let Some(&lru) =
+                    cache.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+                {
+                    cache.map.remove(&lru);
+                }
+            }
+            cache.map.insert(id.0, CacheEntry { plan: Arc::clone(&plan), key, last_used: tick });
+        }
+        (plan, false)
+    }
+
+    /// The cached plan for `id`, if it is still resident.
+    pub fn cached(&self, id: PlanId) -> Option<Arc<QueryPlan>> {
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        cache.map.get_mut(&id.0).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.plan)
+        })
+    }
+
+    /// Drops every cached plan. Call when the sampled graph this engine
+    /// compiles against is replaced (quarantine demotion, failover reroute,
+    /// crash recovery).
+    pub fn invalidate(&self) {
+        self.cache.lock().expect("plan cache poisoned").map.clear();
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache accounting so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            cached: self.cache.lock().expect("plan cache poisoned").map.len(),
+        }
+    }
+
+    /// Executes a batch in parallel across plans (scoped worker threads,
+    /// work-stealing by index). Output order matches input order, and each
+    /// outcome is bit-identical to `batch[i].0.execute(store, batch[i].1)`
+    /// run alone: parallelism is across queries, never inside one fold.
+    pub fn execute_batch<S: CountSource + Sync + ?Sized>(
+        &self,
+        store: &S,
+        batch: &[(Arc<QueryPlan>, QueryKind)],
+    ) -> Vec<QueryOutcome> {
+        let n = batch.len();
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+        if threads <= 1 {
+            return batch.iter().map(|(p, k)| p.execute(store, *k)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<QueryOutcome>> = vec![None; n];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (plan, kind) = &batch[i];
+                            mine.push((i, plan.execute(store, *kind)));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, out) in h.join().expect("batch worker panicked") {
+                    results[i] = Some(out);
+                }
+            }
+        });
+        results.into_iter().map(|o| o.expect("every index executed")).collect()
+    }
+
+    /// [`execute_batch`](Self::execute_batch) addressed by [`PlanId`]:
+    /// resolves each id against the cache first. `None` marks ids whose
+    /// plan was evicted or never compiled — the caller re-plans those.
+    pub fn execute_ids<S: CountSource + Sync + ?Sized>(
+        &self,
+        store: &S,
+        batch: &[(PlanId, QueryKind)],
+    ) -> Vec<Option<QueryOutcome>> {
+        let resolved: Vec<Option<(Arc<QueryPlan>, QueryKind)>> =
+            batch.iter().map(|&(id, kind)| self.cached(id).map(|p| (p, kind))).collect();
+        let live: Vec<(Arc<QueryPlan>, QueryKind)> = resolved.iter().flatten().cloned().collect();
+        let mut outcomes = self.execute_batch(store, &live).into_iter();
+        resolved.into_iter().map(|slot| slot.map(|_| outcomes.next().expect("outcome"))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{answer, ground_truth};
+    use crate::sampled::Connectivity;
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use stq_mobility::trajectory::WorkloadMix;
+
+    fn fixture() -> (Scenario, SampledGraph) {
+        let s = Scenario::build(ScenarioConfig {
+            junctions: 140,
+            mix: WorkloadMix { random_waypoint: 10, commuter: 6, transit: 4 },
+            seed: 23,
+            ..Default::default()
+        });
+        let cands = s.sensing.sensor_candidates();
+        let m = (cands.len() / 4).max(3);
+        let ids = stq_sampling::sample(stq_sampling::SamplingMethod::QuadTree, &cands, m, 5);
+        let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+        let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
+        (s, g)
+    }
+
+    #[test]
+    fn plan_execute_matches_answer_bitwise() {
+        let (s, g) = fixture();
+        for (q, t0, t1) in s.make_queries(6, 0.12, 2_000.0, 7) {
+            for kind in
+                [QueryKind::Snapshot(t0), QueryKind::Transient(t0, t1), QueryKind::Static(t0, t1)]
+            {
+                for approx in [Approximation::Lower, Approximation::Upper] {
+                    let via_answer = answer(&s.sensing, &g, &s.tracked.store, &q, kind, approx);
+                    let plan = QueryPlan::compile(&s.sensing, &g, &q, approx);
+                    let via_plan = plan.execute(&s.tracked.store, kind);
+                    assert_eq!(via_plan.value.to_bits(), via_answer.value.to_bits());
+                    assert_eq!(via_plan.miss, via_answer.miss);
+                    assert_eq!(via_plan.nodes_accessed, via_answer.nodes_accessed);
+                    assert_eq!(via_plan.edges_accessed, via_answer.edges_accessed);
+                    assert_eq!(via_plan.covered_cells, via_answer.covered_cells);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_plan_matches_ground_truth() {
+        let (s, _) = fixture();
+        for (q, t0, _) in s.make_queries(4, 0.15, 2_000.0, 9) {
+            let kind = QueryKind::Snapshot(t0);
+            let plan = QueryPlan::compile_exact(&s.sensing, &q);
+            assert_eq!(
+                plan.execute(&s.tracked.store, kind).value.to_bits(),
+                ground_truth(&s.sensing, &s.tracked.store, &q, kind).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hits_return_the_same_plan() {
+        let (s, g) = fixture();
+        let engine = QueryEngine::new(8);
+        let (q, _, _) = s.make_queries(1, 0.12, 2_000.0, 7).remove(0);
+        let (p1, hit1) = engine.plan(&s.sensing, &g, &q, Approximation::Lower);
+        let (p2, hit2) = engine.plan(&s.sensing, &g, &q, Approximation::Lower);
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // Upper resolution is a distinct plan.
+        let (p3, hit3) = engine.plan(&s.sensing, &g, &q, Approximation::Upper);
+        assert!(!hit3);
+        assert_ne!(p3.id, p1.id);
+        let st = engine.stats();
+        assert_eq!((st.hits, st.misses, st.cached), (1, 2, 2));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_and_capacity_zero_disables() {
+        let (s, g) = fixture();
+        let engine = QueryEngine::new(2);
+        let qs = s.make_queries(3, 0.08, 2_000.0, 3);
+        let ids: Vec<PlanId> = qs
+            .iter()
+            .map(|(q, _, _)| engine.plan(&s.sensing, &g, q, Approximation::Lower).0.id)
+            .collect();
+        // First plan was evicted by the third insert.
+        assert!(engine.cached(ids[0]).is_none());
+        assert!(engine.cached(ids[2]).is_some());
+        assert_eq!(engine.stats().cached, 2);
+
+        let off = QueryEngine::new(0);
+        let (q, _, _) = &qs[0];
+        let (_, h1) = off.plan(&s.sensing, &g, q, Approximation::Lower);
+        let (_, h2) = off.plan(&s.sensing, &g, q, Approximation::Lower);
+        assert!(!h1 && !h2, "capacity 0 never caches");
+        assert_eq!(off.stats().cached, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_bitwise() {
+        let (s, g) = fixture();
+        let engine = QueryEngine::new(32);
+        let mut batch = Vec::new();
+        for (q, t0, t1) in s.make_queries(5, 0.12, 2_000.0, 11) {
+            let (plan, _) = engine.plan(&s.sensing, &g, &q, Approximation::Lower);
+            batch.push((Arc::clone(&plan), QueryKind::Snapshot(t0)));
+            batch.push((plan, QueryKind::Transient(t0, t1)));
+        }
+        let parallel = engine.execute_batch(&s.tracked.store, &batch);
+        for (i, (plan, kind)) in batch.iter().enumerate() {
+            let solo = plan.execute(&s.tracked.store, *kind);
+            assert_eq!(parallel[i].value.to_bits(), solo.value.to_bits());
+            assert_eq!(parallel[i].miss, solo.miss);
+        }
+    }
+
+    #[test]
+    fn execute_ids_resolves_cache_and_reports_evictions() {
+        let (s, g) = fixture();
+        let engine = QueryEngine::new(16);
+        let (q, t0, _) = s.make_queries(1, 0.12, 2_000.0, 13).remove(0);
+        let (plan, _) = engine.plan(&s.sensing, &g, &q, Approximation::Lower);
+        let out = engine.execute_ids(
+            &s.tracked.store,
+            &[(plan.id, QueryKind::Snapshot(t0)), (PlanId(0xdead_beef), QueryKind::Snapshot(t0))],
+        );
+        assert!(out[0].is_some());
+        assert!(out[1].is_none(), "unknown ids surface as None");
+        engine.invalidate();
+        let out = engine.execute_ids(&s.tracked.store, &[(plan.id, QueryKind::Snapshot(t0))]);
+        assert!(out[0].is_none(), "invalidation drops every cached plan");
+        assert_eq!(engine.stats().invalidations, 1);
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod abstracted;
 pub mod cost;
+pub mod engine;
 pub mod geometric;
 pub mod learned_store;
 pub mod query;
@@ -56,13 +57,14 @@ pub mod sensing;
 pub mod streaming;
 pub mod tracker;
 
+pub use engine::{EngineStats, PlanId, QueryEngine, QueryPlan};
 pub use learned_store::LearnedStore;
 pub use query::{
     answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,
 };
 pub use repair::{
-    answer_with_bounds, net_flow_interval, quarantine_and_repair, BoundedAnswer, RepairConfig,
-    RepairKind, RepairOutcome, RepairedEdge,
+    answer_with_bounds, bounds_from_plans, net_flow_interval, quarantine_and_repair, BoundedAnswer,
+    RepairConfig, RepairKind, RepairOutcome, RepairedEdge,
 };
 pub use sampled::{Connectivity, SampledGraph};
 pub use sensing::SensingGraph;
@@ -72,6 +74,7 @@ pub use tracker::{crossings_of, ingest, ingest_with_faults, Crossing, Tracked};
 pub mod prelude {
     pub use crate::abstracted::AbstractTopology;
     pub use crate::cost::{measure_costs, CostModel};
+    pub use crate::engine::{EngineStats, PlanId, QueryEngine, QueryPlan};
     pub use crate::geometric::Subdivision;
     pub use crate::learned_store::LearnedStore;
     pub use crate::query::{

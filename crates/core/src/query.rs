@@ -74,6 +74,12 @@ pub struct QueryOutcome {
 ///
 /// `store` may be the exact [`stq_forms::FormStore`] or a learned store —
 /// any [`CountSource`].
+///
+/// This is a thin wrapper that compiles a one-shot
+/// [`QueryPlan`](crate::engine::QueryPlan) and executes it; callers issuing
+/// repeated or batched queries should hold a
+/// [`QueryEngine`](crate::engine::QueryEngine) so plans are cached and
+/// reused.
 pub fn answer<S: CountSource + ?Sized>(
     sensing: &SensingGraph,
     sampled: &SampledGraph,
@@ -82,28 +88,7 @@ pub fn answer<S: CountSource + ?Sized>(
     kind: QueryKind,
     approx: Approximation,
 ) -> QueryOutcome {
-    let covered = match approx {
-        Approximation::Lower => sampled.resolve_lower(&query.junctions),
-        Approximation::Upper => sampled.resolve_upper(&query.junctions),
-    };
-    if covered.is_empty() {
-        return QueryOutcome {
-            value: 0.0,
-            miss: true,
-            nodes_accessed: 0,
-            edges_accessed: 0,
-            covered_cells: 0,
-        };
-    }
-    let boundary = sensing.boundary_of(&covered, Some(sampled.monitored()));
-    let value = evaluate(store, &boundary, kind);
-    QueryOutcome {
-        value,
-        miss: false,
-        nodes_accessed: sensing.boundary_sensors(&boundary).len(),
-        edges_accessed: boundary.len(),
-        covered_cells: covered.len(),
-    }
+    crate::engine::QueryPlan::compile(sensing, sampled, query, approx).execute(store, kind)
 }
 
 /// Evaluates a query kind over an explicit boundary chain.
@@ -127,8 +112,7 @@ pub fn ground_truth<S: CountSource + ?Sized>(
     query: &QueryRegion,
     kind: QueryKind,
 ) -> f64 {
-    let boundary = sensing.boundary_of(&query.junctions, None);
-    evaluate(store, &boundary, kind)
+    crate::engine::QueryPlan::compile_exact(sensing, query).execute(store, kind).value
 }
 
 /// Relative error `|η − η̂| / η`; `None` when the ground truth is zero

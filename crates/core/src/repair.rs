@@ -1,6 +1,6 @@
 //! Quarantine-and-repair: turning audit verdicts into sound query answers.
 //!
-//! The integrity auditor ([`stq_forms::audit`]) classifies each monitored
+//! The integrity auditor ([`stq_forms::audit()`]) classifies each monitored
 //! edge `Healthy`, `Suspect`, or `Dead`. This layer decides what to *do*
 //! about it, in three escalating steps:
 //!
@@ -31,9 +31,8 @@
 //! stays sound: `lower ≤ oracle ≤ upper` holds as long as the surviving
 //! monitored edges are intact.
 
-use std::collections::HashSet;
-
-use crate::query::{QueryKind, QueryRegion};
+use crate::engine::QueryPlan;
+use crate::query::{Approximation, QueryKind, QueryRegion};
 use crate::sampled::SampledGraph;
 use crate::sensing::SensingGraph;
 use stq_forms::audit::{audit, conservation_violation, AuditConfig, AuditReport, ComponentSpec};
@@ -227,19 +226,34 @@ pub fn answer_with_bounds<S: CountSource + ?Sized>(
     query: &QueryRegion,
     kind: QueryKind,
 ) -> BoundedAnswer {
-    let lower_set = graph.resolve_lower(&query.junctions);
-    let upper_set = graph.resolve_upper(&query.junctions);
-    let boundary = |set: &HashSet<usize>| {
-        (!set.is_empty()).then(|| sensing.boundary_of(set, Some(graph.monitored())))
-    };
-    let lower_b = boundary(&lower_set);
-    let upper_b = boundary(&upper_set);
-    // Population of the sub-region: 0 when it is empty (trivially sound).
-    let pop_lo = |t: Time| lower_b.as_ref().map_or(0.0, |b| snapshot_count(store, b, t).max(0.0));
-    // Population of the super-region: unbounded when it does not resolve.
-    let pop_hi = |t: Time| upper_b.as_ref().map_or(f64::INFINITY, |b| snapshot_count(store, b, t));
+    let lower = QueryPlan::compile(sensing, graph, query, Approximation::Lower);
+    let upper = QueryPlan::compile(sensing, graph, query, Approximation::Upper);
+    bounds_from_plans(&lower, &upper, store, kind)
+}
 
-    let (lower, upper) = match kind {
+/// The bracket algebra itself, on precompiled lower/upper plans — the
+/// engine-cached path the serving runtime uses ([`answer_with_bounds`] is
+/// the one-shot wrapper). `lower` must be the `R₂` plan and `upper` the
+/// `R₁` plan of the *same* region on the *same* graph.
+pub fn bounds_from_plans<S: CountSource + ?Sized>(
+    lower: &QueryPlan,
+    upper: &QueryPlan,
+    store: &S,
+    kind: QueryKind,
+) -> BoundedAnswer {
+    // Population of the sub-region: 0 when it is empty (trivially sound).
+    let pop_lo =
+        |t: Time| if lower.miss { 0.0 } else { snapshot_count(store, &lower.boundary, t).max(0.0) };
+    // Population of the super-region: unbounded when it does not resolve.
+    let pop_hi = |t: Time| {
+        if upper.miss {
+            f64::INFINITY
+        } else {
+            snapshot_count(store, &upper.boundary, t)
+        }
+    };
+
+    let (lo, hi) = match kind {
         // pop(R₂, t) ≤ pop(R, t) ≤ pop(R₁, t): region monotonicity of counts.
         QueryKind::Snapshot(t) => (pop_lo(t), pop_hi(t)),
         // Net change brackets from the endpoint populations:
@@ -249,15 +263,18 @@ pub fn answer_with_bounds<S: CountSource + ?Sized>(
         // populations; the lower estimator is itself a sound lower bound on
         // the sub-region's static count.
         QueryKind::Static(t0, t1) => (
-            lower_b
-                .as_ref()
-                .map_or(0.0, |b| static_interval_lower_bound(store, b, t0, t1).max(0.0)),
+            if lower.miss {
+                0.0
+            } else {
+                static_interval_lower_bound(store, &lower.boundary, t0, t1).max(0.0)
+            },
             pop_hi(t0).min(pop_hi(t1)).max(0.0),
         ),
     };
-    let miss = upper_set.is_empty();
-    let coverage = if miss { 0.0 } else { lower_set.len() as f64 / upper_set.len().max(1) as f64 };
-    BoundedAnswer { lower, upper, miss, coverage }
+    let miss = upper.miss;
+    let coverage =
+        if miss { 0.0 } else { lower.covered_cells() as f64 / upper.covered_cells().max(1) as f64 };
+    BoundedAnswer { lower: lo, upper: hi, miss, coverage }
 }
 
 #[cfg(test)]

@@ -155,16 +155,48 @@ impl SensingGraph {
     /// endpoint in `U`, oriented inward. With `monitored = None` all edges
     /// qualify (the unsampled graph); otherwise only monitored edges do —
     /// in a valid sampled region the caller guarantees every boundary edge
-    /// is monitored, which `debug_assert`s below verify.
+    /// is monitored, which `debug_assert`s in the walk verify.
     pub fn boundary_of(
         &self,
         region: &HashSet<VertexId>,
         monitored: Option<&[bool]>,
     ) -> Vec<BoundaryEdge> {
+        self.walk_boundary(region, monitored, None)
+    }
+
+    /// [`boundary_of`](Self::boundary_of) plus the number of distinct
+    /// sensors incident to the chain, computed in the *same* pass: each
+    /// boundary edge's two dual faces are folded into the sensor set as the
+    /// edge is emitted, instead of re-walking the finished chain through
+    /// [`boundary_sensors`](Self::boundary_sensors).
+    pub fn boundary_with_sensors(
+        &self,
+        region: &HashSet<VertexId>,
+        monitored: Option<&[bool]>,
+    ) -> (Vec<BoundaryEdge>, usize) {
+        let mut sensors: HashSet<FaceId> = HashSet::new();
+        let chain = self.walk_boundary(region, monitored, Some(&mut sensors));
+        (chain, sensors.len())
+    }
+
+    /// The single boundary walk behind both public entry points. Region
+    /// vertices are visited in sorted order, so the emitted chain — and
+    /// therefore the order of every floating-point fold over it — is a
+    /// deterministic function of the region's *contents*, not of `HashSet`
+    /// iteration order. Plan fingerprints and bit-identity tests rely on
+    /// this.
+    fn walk_boundary(
+        &self,
+        region: &HashSet<VertexId>,
+        monitored: Option<&[bool]>,
+        mut sensors: Option<&mut HashSet<FaceId>>,
+    ) -> Vec<BoundaryEdge> {
         let emb = self.road.embedding();
+        let mut verts: Vec<VertexId> = region.iter().copied().collect();
+        verts.sort_unstable();
         let mut out = Vec::new();
         let mut seen: HashSet<EdgeId> = HashSet::new();
-        for &u in region {
+        for &u in &verts {
             for &h in emb.rotation(u) {
                 let e = emb.edge_of(h);
                 let (a, b) = emb.edge_endpoints(e);
@@ -181,6 +213,11 @@ impl SensingGraph {
                     if !mon[e] {
                         continue;
                     }
+                }
+                if let Some(fs) = sensors.as_deref_mut() {
+                    let (f, g) = self.dual.edge_faces[e];
+                    fs.insert(f);
+                    fs.insert(g);
                 }
                 out.push(BoundaryEdge::new(e, inside_b));
             }

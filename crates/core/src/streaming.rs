@@ -5,7 +5,8 @@
 //! in near-real-time order — tolerating bounded out-of-order arrival, as
 //! radio networks produce — by buffering events inside a watermark window
 //! and releasing them in order. Released events feed either the exact
-//! [`FormStore`] or a [`StreamingLearnedStore`] of bounded per-edge memory
+//! [`stq_forms::FormStore`] or a [`StreamingLearnedStore`] of bounded
+//! per-edge memory
 //! built from `stq_learned::BufferedSeries` (the paper's buffer-and-flush
 //! update scheme, §4.8).
 

@@ -2,6 +2,18 @@
 
 use crate::{EdgeIdx, Time};
 
+/// Rank of `t` in a sorted timestamp sequence: the number of events with
+/// `time ≤ t` — the paper's `C(γ_t(e), t)` on one directed log.
+///
+/// This is *the* count primitive shared by every store: the exact
+/// [`TrackingForm`], the columnar arena of [`crate::columnar`], and the
+/// recent-event buffer of `stq_learned::BufferedSeries` all answer
+/// cumulative counts through this one `partition_point` rank, so boundary
+/// semantics (ties included, empty sequence → 0) cannot drift between them.
+pub fn events_until(seq: &[Time], t: Time) -> usize {
+    seq.partition_point(|&x| x <= t)
+}
+
 /// The two timestamp sequences of one edge's tracking form.
 ///
 /// `fwd` logs traversals in the edge's construction direction (tail → head),
@@ -37,7 +49,7 @@ impl TrackingForm {
     /// Builds a form directly from raw timestamp sequences, bypassing the
     /// monotonicity check of [`TrackingForm::record`]. Corrupted sensors
     /// (clock skew, replayed logs) produce out-of-order sequences, and the
-    /// integrity auditor in [`crate::audit`] must be able to ingest them
+    /// integrity auditor in [`mod@crate::audit`] must be able to ingest them
     /// verbatim to detect exactly that.
     ///
     /// # Panics
@@ -59,8 +71,7 @@ impl TrackingForm {
 
     /// Events with `time ≤ t` in a direction — the paper's `C(γ_t(e), t)`.
     pub fn count_until(&self, forward: bool, t: Time) -> usize {
-        let seq = if forward { &self.fwd } else { &self.bwd };
-        seq.partition_point(|&x| x <= t)
+        events_until(if forward { &self.fwd } else { &self.bwd }, t)
     }
 
     /// Events in the half-open window `(t0, t1]` — `C(γ, t0, t1)` (§4.7.4).
@@ -166,6 +177,22 @@ impl CountSource for FormStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn events_until_boundary_conditions() {
+        // Empty sequence: always 0, at any t.
+        assert_eq!(events_until(&[], 5.0), 0);
+        assert_eq!(events_until(&[], f64::NEG_INFINITY), 0);
+        // t exactly equal to a stored timestamp: the tie is *included*.
+        let seq = [1.0, 2.0, 2.0, 3.0];
+        assert_eq!(events_until(&seq, 2.0), 3);
+        assert_eq!(events_until(&seq, 1.0), 1);
+        assert_eq!(events_until(&seq, 3.0), 4);
+        // Strictly between / outside stored timestamps.
+        assert_eq!(events_until(&seq, 0.5), 0);
+        assert_eq!(events_until(&seq, 2.5), 3);
+        assert_eq!(events_until(&seq, 99.0), 4);
+    }
 
     #[test]
     fn record_and_count() {

@@ -21,6 +21,7 @@
 //! counts on fully-monitored graphs.
 
 pub mod audit;
+pub mod columnar;
 pub mod form;
 pub mod oracle;
 pub mod privacy;
@@ -29,7 +30,8 @@ pub mod query;
 pub use audit::{
     audit, AuditConfig, AuditReport, ComponentSpec, EdgeHealth, EdgeVerdict, Evidence, Violation,
 };
-pub use form::{CountSource, FormStore, TrackingForm};
+pub use columnar::ColumnarCounts;
+pub use form::{events_until, CountSource, FormStore, TrackingForm};
 pub use oracle::OracleTracker;
 pub use privacy::PrivateCounts;
 pub use query::{

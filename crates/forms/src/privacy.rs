@@ -1,9 +1,9 @@
 //! Differentially private count sources.
 //!
-//! The paper defers formal privacy guarantees to Ghosh et al. [20]
+//! The paper defers formal privacy guarantees to Ghosh et al. \[20\]
 //! ("Differentially Private Range Counting in Planar Graphs for Spatial
 //! Sensing", INFOCOM 2020), noting that "one can extend our method using
-//! methods from [20] to include privacy guarantees" (§4.1). This module
+//! methods from \[20\] to include privacy guarantees" (§4.1). This module
 //! implements that extension's core mechanism: per-edge Laplace noise on the
 //! directed cumulative counts, calibrated to the sensitivity of a single
 //! crossing event.

@@ -71,7 +71,7 @@ pub fn transient_count<S: CountSource + ?Sized>(
 /// whole interval is inside at both endpoints, so this upper-bounds the
 /// exact static count while staying insensitive to pass-through traffic.
 /// For `t0 = t1` it degenerates to the snapshot count — exactly how the
-/// paper reduces the spatial range query of [34] to this query ("set t1 and
+/// paper reduces the spatial range query of \[34\] to this query ("set t1 and
 /// t2 to be very close").
 pub fn static_interval_count<S: CountSource + ?Sized>(
     store: &S,

@@ -412,8 +412,7 @@ impl BufferedSeries {
     /// Estimated number of events with `time ≤ t` (model + buffer scan).
     pub fn count_until(&self, t: f64) -> f64 {
         let model = self.frozen.predict(t).clamp(0.0, self.frozen_count as f64);
-        let buffered = self.buffer.partition_point(|&x| x <= t) as f64;
-        model + buffered
+        model + stq_forms::events_until(&self.buffer, t) as f64
     }
 
     /// Total events seen.

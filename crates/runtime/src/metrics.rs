@@ -28,6 +28,11 @@ pub struct QueryTrace {
     pub coverage: f64,
     /// End-to-end latency in microseconds.
     pub latency_us: u64,
+    /// Microseconds spent obtaining the query plan (cache lookup plus
+    /// compile on a miss).
+    pub plan_us: u64,
+    /// Whether the plan came from the engine's cache.
+    pub plan_cache_hit: bool,
     /// Whether the answer was served from partial data.
     pub degraded: bool,
     /// Whether the sampled graph could not cover the region at all.
@@ -142,6 +147,16 @@ pub struct Metrics {
     pub skipped_unhealthy: AtomicU64,
     /// Gauge: shards currently being recovered by the supervisor.
     pub recovering: AtomicU64,
+    /// Query plans served from the engine's cache.
+    pub plan_cache_hits: AtomicU64,
+    /// Query plans compiled because no cached plan existed.
+    pub plan_cache_misses: AtomicU64,
+    /// Wholesale plan-cache clears (recovery re-admissions).
+    pub plan_invalidations: AtomicU64,
+    /// Time to obtain a plan (cache lookup + compile on miss).
+    pub plan_latency: Histogram,
+    /// Time to execute an obtained plan (fan-out through aggregation).
+    pub execute_latency: Histogram,
     /// End-to-end query latency.
     pub latency: Histogram,
     /// Supervisor recovery duration (abnormal exit → re-admitted).
@@ -216,6 +231,11 @@ impl Metrics {
             escalations: load(&self.escalations),
             skipped_unhealthy: load(&self.skipped_unhealthy),
             recovering: load(&self.recovering),
+            plan_cache_hits: load(&self.plan_cache_hits),
+            plan_cache_misses: load(&self.plan_cache_misses),
+            plan_invalidations: load(&self.plan_invalidations),
+            plan_p95_us: self.plan_latency.quantile_us(0.95),
+            execute_p95_us: self.execute_latency.quantile_us(0.95),
             p50_us: self.latency.quantile_us(0.50),
             p95_us: self.latency.quantile_us(0.95),
             p99_us: self.latency.quantile_us(0.99),
@@ -276,6 +296,16 @@ pub struct MetricsReport {
     pub skipped_unhealthy: u64,
     /// See [`Metrics::recovering`] (gauge at snapshot time).
     pub recovering: u64,
+    /// See [`Metrics::plan_cache_hits`].
+    pub plan_cache_hits: u64,
+    /// See [`Metrics::plan_cache_misses`].
+    pub plan_cache_misses: u64,
+    /// See [`Metrics::plan_invalidations`].
+    pub plan_invalidations: u64,
+    /// 95th-percentile plan-acquisition latency bucket edge (µs).
+    pub plan_p95_us: u64,
+    /// 95th-percentile plan-execution latency bucket edge (µs).
+    pub execute_p95_us: u64,
     /// Median latency bucket edge (µs).
     pub p50_us: u64,
     /// 95th-percentile latency bucket edge (µs).
@@ -320,6 +350,15 @@ impl fmt::Display for MetricsReport {
             self.skipped_unhealthy,
             self.recovering
         )?;
+        writeln!(
+            f,
+            "engine: plan hits {} misses {} invalidations {}, plan p95 {}us, execute p95 {}us",
+            self.plan_cache_hits,
+            self.plan_cache_misses,
+            self.plan_invalidations,
+            self.plan_p95_us,
+            self.execute_p95_us
+        )?;
         write!(f, "latency p50 {}us p95 {}us p99 {}us", self.p50_us, self.p95_us, self.p99_us)
     }
 }
@@ -359,6 +398,8 @@ mod tests {
                 retries: 0,
                 coverage: 1.0,
                 latency_us: 10,
+                plan_us: 2,
+                plan_cache_hit: false,
                 degraded: false,
                 miss: false,
             });
@@ -405,6 +446,8 @@ mod tests {
             retries: 0,
             coverage: 1.0,
             latency_us: 10,
+            plan_us: 2,
+            plan_cache_hit: id % 2 == 0,
             degraded: false,
             miss: false,
         };
@@ -443,6 +486,27 @@ mod tests {
         assert!(text.contains("respawns 1"));
         // Pre-existing lines keep their shape (additive change only).
         assert!(text.contains("latency p50"));
+    }
+
+    #[test]
+    fn engine_counters_round_trip_report() {
+        let m = Metrics::new();
+        Metrics::add(&m.plan_cache_hits, 7);
+        Metrics::add(&m.plan_cache_misses, 3);
+        Metrics::bump(&m.plan_invalidations);
+        m.plan_latency.record(12);
+        m.execute_latency.record(700);
+        let r = m.report();
+        assert_eq!(r.plan_cache_hits, 7);
+        assert_eq!(r.plan_cache_misses, 3);
+        assert_eq!(r.plan_invalidations, 1);
+        assert!(r.plan_p95_us >= 12);
+        assert!(r.execute_p95_us >= 700);
+        let text = r.to_string();
+        assert!(text.contains("plan hits 7 misses 3 invalidations 1"));
+        // Pre-existing lines keep their shape (additive change only).
+        assert!(text.contains("latency p50"));
+        assert!(text.contains("queries 0"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! submit() ─▶ bounded job queue ─▶ dispatcher threads
-//!                                     │ resolve region, boundary_of
+//!                                     │ engine.plan (cached region plan)
 //!                                     ├─▶ shard 0 ─┐ per-edge counts
 //!                                     ├─▶ shard 1 ─┤ (crossbeam channels)
 //!                                     └─▶ shard k ─┘
@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
+use stq_core::engine::QueryEngine;
 use stq_core::query::{Approximation, QueryKind, QueryRegion};
 use stq_core::sampled::SampledGraph;
 use stq_core::sensing::SensingGraph;
@@ -112,6 +113,10 @@ pub struct RuntimeConfig {
     /// WAL + snapshot persistence; `None` keeps state memory-only (the
     /// redo buffer then retains every ingested event for exact respawns).
     pub durability: Option<DurabilityConfig>,
+    /// Capacity of the dispatchers' shared query-plan cache (0 disables
+    /// caching: every query re-resolves its region and re-walks the
+    /// boundary). Invalidated wholesale on supervisor-driven recovery.
+    pub plan_cache: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -125,6 +130,7 @@ impl Default for RuntimeConfig {
             fault: FaultPlan::none(),
             panic_threshold: 3,
             durability: None,
+            plan_cache: 256,
         }
     }
 }
@@ -167,6 +173,12 @@ pub struct ServedAnswer {
     pub shards: usize,
     /// Retry rounds that were needed.
     pub retries: u32,
+    /// Whether the query's plan was served from the engine's cache (false
+    /// for misses compiled on demand — and always false right after a
+    /// recovery-driven invalidation).
+    pub plan_cache_hit: bool,
+    /// Time spent obtaining the plan (cache lookup + compile on a miss).
+    pub plan_latency: Duration,
     /// End-to-end latency.
     pub latency: Duration,
 }
@@ -203,6 +215,9 @@ struct ServerState {
     health: Arc<Vec<AtomicU8>>,
     durable_seq: Arc<Vec<AtomicU64>>,
     metrics: Arc<Metrics>,
+    /// Shared plan cache: dispatchers compile and reuse region plans here;
+    /// the supervisor invalidates it on every recovery.
+    engine: Arc<QueryEngine>,
 }
 
 /// A running sharded query server over one deployment.
@@ -278,6 +293,7 @@ impl Runtime {
         let durable_seq: Arc<Vec<AtomicU64>> =
             Arc::new((0..ns).map(|_| AtomicU64::new(0)).collect());
 
+        let engine = Arc::new(QueryEngine::new(cfg.plan_cache));
         let (events_tx, events_rx) = channel::unbounded::<SupervisorMsg>();
         let supervisor = Supervisor::start(
             parts,
@@ -290,6 +306,7 @@ impl Runtime {
             Arc::clone(&health),
             Arc::clone(&durable_seq),
             Arc::clone(&metrics),
+            Arc::clone(&engine),
             events_tx.clone(),
         );
         let supervisor_thread = std::thread::Builder::new()
@@ -307,6 +324,7 @@ impl Runtime {
             health,
             durable_seq,
             metrics: Arc::clone(&metrics),
+            engine,
         });
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
         let mut dispatcher_threads = Vec::with_capacity(cfg.dispatchers);
@@ -338,6 +356,11 @@ impl Runtime {
     /// The live metric registry (valid before and after shutdown).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// Cache accounting of the dispatchers' shared query-plan engine.
+    pub fn engine_stats(&self) -> stq_core::engine::EngineStats {
+        self.state.as_ref().expect("runtime is running").engine.stats()
     }
 
     /// Streams one boundary-crossing event into the owning shard. The event
@@ -478,6 +501,8 @@ fn serve(st: &ServerState, job: Job) {
         retries: answer.retries,
         coverage: answer.coverage,
         latency_us: answer.latency.as_micros() as u64,
+        plan_us: answer.plan_latency.as_micros() as u64,
+        plan_cache_hit: answer.plan_cache_hit,
         degraded: answer.degraded,
         miss: answer.miss,
     });
@@ -486,11 +511,19 @@ fn serve(st: &ServerState, job: Job) {
 }
 
 fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> ServedAnswer {
-    let covered = match spec.approx {
-        Approximation::Lower => st.sampled.resolve_lower(&spec.region.junctions),
-        Approximation::Upper => st.sampled.resolve_upper(&spec.region.junctions),
-    };
-    if covered.is_empty() {
+    // Plan: resolve the region and derive the boundary chain — or reuse a
+    // cached plan for a region the runtime has served before.
+    let plan_t0 = Instant::now();
+    let (plan, plan_cache_hit) =
+        st.engine.plan(&st.sensing, &st.sampled, &spec.region, spec.approx);
+    let plan_latency = plan_t0.elapsed();
+    st.metrics.plan_latency.record(plan_latency.as_micros() as u64);
+    Metrics::bump(if plan_cache_hit {
+        &st.metrics.plan_cache_hits
+    } else {
+        &st.metrics.plan_cache_misses
+    });
+    if plan.miss {
         return ServedAnswer {
             query_id: id,
             value: 0.0,
@@ -502,10 +535,13 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
             quarantined: 0,
             shards: 0,
             retries: 0,
+            plan_cache_hit,
+            plan_latency,
             latency: start.elapsed(),
         };
     }
-    let boundary = st.sensing.boundary_of(&covered, Some(st.sampled.monitored()));
+    let exec_t0 = Instant::now();
+    let boundary = &plan.boundary;
 
     // Fan out: group boundary edges by owning shard, tagged with their
     // position in the chain so the aggregate fold preserves term order.
@@ -638,6 +674,7 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         }
     };
 
+    st.metrics.execute_latency.record(exec_t0.elapsed().as_micros() as u64);
     ServedAnswer {
         query_id: id,
         value,
@@ -649,6 +686,8 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         quarantined: refused_total,
         shards: fanout,
         retries: retries_used,
+        plan_cache_hit,
+        plan_latency,
         latency: start.elapsed(),
     }
 }

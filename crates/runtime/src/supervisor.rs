@@ -40,6 +40,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
+use stq_core::engine::QueryEngine;
 use stq_core::tracker::Crossing;
 use stq_durability::{apply_crossing, recover_shard, ShardDurability};
 use stq_forms::TrackingForm;
@@ -88,6 +89,9 @@ pub(crate) struct Supervisor {
     health: Arc<Vec<AtomicU8>>,
     durable_seq: Arc<Vec<AtomicU64>>,
     metrics: Arc<Metrics>,
+    /// The dispatchers' plan cache, cleared on every recovery (recovery may
+    /// extend quarantine, so cached plans are dropped conservatively).
+    engine: Arc<QueryEngine>,
     events_tx: Sender<SupervisorMsg>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -108,6 +112,7 @@ impl Supervisor {
         health: Arc<Vec<AtomicU8>>,
         durable_seq: Arc<Vec<AtomicU64>>,
         metrics: Arc<Metrics>,
+        engine: Arc<QueryEngine>,
         events_tx: Sender<SupervisorMsg>,
     ) -> Self {
         let dfaults =
@@ -124,6 +129,7 @@ impl Supervisor {
             health,
             durable_seq,
             metrics,
+            engine,
             events_tx,
             handles: Vec::new(),
         };
@@ -231,12 +237,22 @@ impl Supervisor {
 
         let mut quarantined = self.quarantine[shard].clone();
         quarantined.extend(extra_quarantine);
-        self.spawn_worker(shard, forms, quarantined, durability, last_seq, ev.delivered);
-        drop(lane);
-
+        // Recovery is the one runtime event that can change the serving
+        // topology (extra quarantine on unreadable disk or a redo gap), so
+        // cached plans are dropped wholesale and recompiled on demand.
+        self.engine.invalidate();
+        Metrics::bump(&self.metrics.plan_invalidations);
+        // Health and the respawn counters flip BEFORE the worker spawns
+        // (still under the lane lock): everything the new worker
+        // acknowledges — flush barriers, digests, query replies — then
+        // happens-after the shard is observably healthy, so a caller that
+        // saw its flush complete can never read the shard as recovering.
+        // Queries sent in the spawn gap just queue on the shard channel.
         self.health[shard].store(HEALTHY, Ordering::Release);
         self.metrics.recovering.fetch_sub(1, Ordering::Relaxed);
         Metrics::bump(&self.metrics.shard_respawns);
+        self.spawn_worker(shard, forms, quarantined, durability, last_seq, ev.delivered);
+        drop(lane);
         self.metrics.recovery_us.record(t0.elapsed().as_micros() as u64);
     }
 

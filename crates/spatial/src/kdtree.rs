@@ -28,7 +28,7 @@ enum Node {
 ///
 /// The tree recursively splits on the median of the wider axis until each
 /// leaf holds at most `leaf_cap` entries — matching the paper's hierarchical
-/// space-partition sampling, which "recursively partition[s] the space until
+/// space-partition sampling, which "recursively partition\[s\] the space until
 /// the leaf level has *m* nodes" (§4.3).
 #[derive(Clone, Debug)]
 pub struct KdTree {

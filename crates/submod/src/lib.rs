@@ -4,7 +4,7 @@
 //!
 //! The generic layer ([`greedy`], [`lazy_greedy`], [`cost_benefit_greedy`])
 //! implements the classic `(1 − 1/e)`-approximate iterative greedy (Eq. 2),
-//! its lazy CELF variant [27], and the budgeted cost-benefit rule (Eq. 4)
+//! its lazy CELF variant \[27\], and the budgeted cost-benefit rule (Eq. 4)
 //! over any [`Objective`].
 //!
 //! The paper-specific layer partitions historical query regions into
@@ -43,7 +43,7 @@ pub fn greedy<O: Objective>(obj: &O, budget: f64) -> Vec<usize> {
 
 /// Cost-benefit greedy (Eq. 4): maximizes `gain / cost` per step, subject to
 /// the remaining budget. Together with plain greedy this yields the
-/// `½(1 − 1/e)` guarantee of [27].
+/// `½(1 − 1/e)` guarantee of \[27\].
 pub fn cost_benefit_greedy<O: Objective>(obj: &O, budget: f64) -> Vec<usize> {
     run_greedy(obj, budget, true)
 }

@@ -299,7 +299,7 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Admissible length specification for [`vec`]: an exact length, a
+    /// Admissible length specification for [`vec()`]: an exact length, a
     /// half-open range, or an inclusive range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
@@ -327,7 +327,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
