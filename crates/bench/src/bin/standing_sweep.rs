@@ -1,0 +1,316 @@
+//! Standing-query benchmark: 1k standing subscriptions maintained by count
+//! deltas versus re-executing the same 1k regions as snapshot queries every
+//! tick, plus a verification pass that pins the two paths **bit-identical**
+//! at every tick and across forced re-snapshot epochs. Emits
+//! `results/BENCH_standing.json`.
+//!
+//! ```sh
+//! cargo run --release -p stq-bench --bin standing_sweep [-- --quick]
+//! ```
+//!
+//! The interesting regime is many long-lived monitors over a live stream:
+//! re-execution pays region dispatch plus a perimeter fold per subscription
+//! per tick whether or not anything changed, while the delta path touches
+//! only the subscriptions whose boundary an event actually crossed — cost
+//! proportional to change, not to the number of watchers.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use stq_bench::SEEDS;
+use stq_core::prelude::*;
+use stq_core::tracker::Crossing;
+use stq_runtime::{QuerySpec, Runtime, RuntimeConfig, SubscriptionHandle};
+
+/// Any finite instant past every streamed event: a snapshot there is the
+/// live net occupancy a standing bracket tracks.
+const T_LATE: f64 = 1.0e12;
+
+struct Setup {
+    s: Scenario,
+    g: SampledGraph,
+    regions: Vec<QueryRegion>,
+}
+
+fn setup(junctions: usize, objects: usize, distinct: usize, seed: u64) -> Setup {
+    let s = Scenario::build(ScenarioConfig {
+        junctions,
+        mix: WorkloadMix {
+            random_waypoint: objects / 3,
+            commuter: objects / 3,
+            transit: objects - 2 * (objects / 3),
+        },
+        seed,
+        ..Default::default()
+    });
+    let cands = s.sensing.sensor_candidates();
+    let ids = stq_sampling::sample(
+        stq_sampling::SamplingMethod::QuadTree,
+        &cands,
+        cands.len() / 4,
+        seed ^ 0x51,
+    );
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
+
+    // Distinct resolvable regions; subscriptions cycle over them (many
+    // watchers, overlapping footprints — the plan cache absorbs the reuse).
+    let mut regions = Vec::new();
+    let mut salt = 0u64;
+    while regions.len() < distinct && salt < 64 {
+        salt += 1;
+        for (region, _, _) in s.make_queries(distinct, 0.02, 2_000.0, seed ^ (0xe0 + salt)) {
+            // Subscriptions alternate approximations, so both must resolve.
+            let resolvable = [Approximation::Lower, Approximation::Upper].iter().all(|&a| {
+                let plan = QueryPlan::compile(&s.sensing, &g, &region, a);
+                !plan.miss && !plan.boundary.is_empty()
+            });
+            if !resolvable {
+                continue;
+            }
+            regions.push(region);
+            if regions.len() >= distinct {
+                break;
+            }
+        }
+    }
+    assert!(!regions.is_empty(), "no resolvable regions found");
+    Setup { s, g, regions }
+}
+
+/// Strictly monotone ingest stream over every sensed edge.
+fn stream(num_edges: usize, n: usize) -> Vec<Crossing> {
+    (0..n)
+        .map(|i| Crossing {
+            time: 10_000.0 + i as f64 * 0.01,
+            edge: i % num_edges,
+            forward: i % 3 != 0,
+        })
+        .collect()
+}
+
+fn runtime(up: &Setup) -> Runtime {
+    let cfg = RuntimeConfig {
+        num_shards: 8,
+        dispatchers: 8,
+        queue_capacity: 64,
+        shard_timeout: Duration::from_millis(1_000),
+        max_retries: 1,
+        ..RuntimeConfig::default()
+    };
+    Runtime::new(up.s.sensing.clone(), up.g.clone(), &up.s.tracked.store, cfg)
+}
+
+/// Registers `n_subs` subscriptions cycling over the distinct regions and
+/// returns each handle with the snapshot spec that re-executes it.
+fn subscribe_all(rt: &Runtime, up: &Setup, n_subs: usize) -> Vec<(SubscriptionHandle, QuerySpec)> {
+    (0..n_subs)
+        .map(|i| {
+            let region = up.regions[i % up.regions.len()].clone();
+            let approx = if i % 2 == 0 { Approximation::Lower } else { Approximation::Upper };
+            let h = rt.subscribe(region.clone(), approx).expect("region pre-checked resolvable");
+            (h, QuerySpec { region, kind: QueryKind::Snapshot(T_LATE), approx })
+        })
+        .collect()
+}
+
+struct Row {
+    seed: u64,
+    delta_qps: f64,
+    reexec_qps: f64,
+    speedup: f64,
+    deltas_pushed: u64,
+    delta_push_p95_us: u64,
+    epochs: u64,
+    mismatches: u64,
+}
+
+fn run_seed(
+    seed: u64,
+    junctions: usize,
+    objects: usize,
+    distinct: usize,
+    n_subs: usize,
+    ticks: usize,
+    batch: usize,
+) -> Row {
+    let up = setup(junctions, objects, distinct, seed);
+    let events = stream(up.s.sensing.num_edges(), ticks * batch);
+
+    // ------------------------------------------------------------------
+    // Delta path: register once, then just ingest — every bracket stays
+    // current without a single query execution.
+    let rt = runtime(&up);
+    let subs = subscribe_all(&rt, &up, n_subs);
+    // Keep the push channels drained so the throughput loop measures the
+    // registry, not an unbounded queue growing.
+    let start = Instant::now();
+    for chunk in events.chunks(batch) {
+        for &c in chunk {
+            rt.ingest(c);
+        }
+        rt.flush_ingest();
+        for (h, _) in &subs {
+            while h.updates.try_recv().is_ok() {}
+        }
+    }
+    let delta_elapsed = start.elapsed().as_secs_f64();
+    let delta_qps = (n_subs * ticks) as f64 / delta_elapsed;
+    let report = rt.metrics().report();
+    rt.shutdown();
+
+    // ------------------------------------------------------------------
+    // Re-execute path: the same stream, but every tick re-runs all
+    // subscriptions as snapshot queries through the sharded engine.
+    let rt = runtime(&up);
+    let specs: Vec<QuerySpec> = subscribe_all(&rt, &up, n_subs)
+        .into_iter()
+        .map(|(h, spec)| {
+            rt.unsubscribe(h.id);
+            spec
+        })
+        .collect();
+    let start = Instant::now();
+    for chunk in events.chunks(batch) {
+        for &c in chunk {
+            rt.ingest(c);
+        }
+        rt.flush_ingest();
+        let pending: Vec<_> = specs.iter().map(|spec| rt.submit(spec.clone())).collect();
+        for p in pending {
+            std::hint::black_box(p.wait());
+        }
+    }
+    let reexec_elapsed = start.elapsed().as_secs_f64();
+    let reexec_qps = (n_subs * ticks) as f64 / reexec_elapsed;
+    rt.shutdown();
+
+    // ------------------------------------------------------------------
+    // Verification: per tick, every bracket must equal its re-executed
+    // snapshot bitwise; a forced re-snapshot epoch per tick must change
+    // nothing. Run over the distinct regions (each approximation) — the
+    // cycled copies share plans, so this covers every maintained fold.
+    let rt = runtime(&up);
+    let vsubs = subscribe_all(&rt, &up, (up.regions.len() * 2).min(n_subs));
+    let mut mismatches = 0u64;
+    for chunk in events.chunks(batch) {
+        for &c in chunk {
+            rt.ingest(c);
+        }
+        rt.flush_ingest();
+        for pass in 0..2 {
+            if pass == 1 {
+                rt.resnapshot_subscriptions();
+            }
+            for (h, spec) in &vsubs {
+                let b = rt.standing_bracket(h.id).expect("live");
+                let a = rt.query(spec.clone());
+                if b.value.to_bits() != a.value.to_bits()
+                    || b.lower.to_bits() != a.lower.to_bits()
+                    || b.upper.to_bits() != a.upper.to_bits()
+                {
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    let epochs = rt.subscription_stats().epoch;
+    rt.shutdown();
+
+    Row {
+        seed,
+        delta_qps,
+        reexec_qps,
+        speedup: delta_qps / reexec_qps.max(1e-9),
+        deltas_pushed: report.deltas_pushed,
+        delta_push_p95_us: report.delta_push_p95_us,
+        epochs,
+        mismatches,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (junctions, objects, distinct, n_subs, ticks, batch, nseeds) =
+        if quick { (150, 45, 16, 100, 4, 200, 1) } else { (400, 150, 48, 1_000, 8, 400, 3) };
+
+    println!(
+        "# standing_sweep — {n_subs} standing queries over {distinct} distinct regions, \
+         {ticks} ticks x {batch} events"
+    );
+    println!(
+        "{:<6} | {:>14} | {:>14} | {:>8} | {:>12} | {:>12} | {:>7} | {:>10}",
+        "seed",
+        "delta q/s",
+        "reexec q/s",
+        "speedup",
+        "deltas",
+        "push p95 µs",
+        "epochs",
+        "mismatches"
+    );
+    let rows: Vec<Row> = SEEDS[..nseeds]
+        .iter()
+        .map(|&seed| {
+            let r = run_seed(seed, junctions, objects, distinct, n_subs, ticks, batch);
+            println!(
+                "{:<6} | {:>14.0} | {:>14.0} | {:>7.2}x | {:>12} | {:>12} | {:>7} | {:>10}",
+                r.seed,
+                r.delta_qps,
+                r.reexec_qps,
+                r.speedup,
+                r.deltas_pushed,
+                r.delta_push_p95_us,
+                r.epochs,
+                r.mismatches
+            );
+            r
+        })
+        .collect();
+
+    let min_speedup = rows.iter().map(|r| r.speedup).fold(f64::INFINITY, f64::min);
+    let total_mismatches: u64 = rows.iter().map(|r| r.mismatches).sum();
+    println!(
+        "\ndelta maintenance over re-execution: min {min_speedup:.2}x across {} seed(s), \
+         {total_mismatches} bracket mismatches",
+        rows.len()
+    );
+    assert_eq!(total_mismatches, 0, "delta-maintained brackets diverged from re-execution");
+    if !quick {
+        assert!(
+            min_speedup >= 5.0,
+            "delta path must beat re-execution by >= 5x at {n_subs} standing queries \
+             (got {min_speedup:.2}x)"
+        );
+    }
+
+    let mut row_json = String::new();
+    for r in &rows {
+        let _ = write!(
+            row_json,
+            "{}    {{\"seed\": {}, \"delta_qps\": {:.1}, \"reexec_qps\": {:.1}, \"speedup\": \
+             {:.3}, \"deltas_pushed\": {}, \"delta_push_p95_us\": {}, \"epochs\": {}, \
+             \"mismatches\": {}}}",
+            if row_json.is_empty() { "" } else { ",\n" },
+            r.seed,
+            r.delta_qps,
+            r.reexec_qps,
+            r.speedup,
+            r.deltas_pushed,
+            r.delta_push_p95_us,
+            r.epochs,
+            r.mismatches
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"standing_sweep\",\n  \"quick\": {quick},\n  \"scenario\": \
+         {{\"junctions\": {junctions}, \"objects\": {objects}}},\n  \"standing\": \
+         {{\"subscriptions\": {n_subs}, \"distinct_regions\": {distinct}, \"ticks\": {ticks}, \
+         \"events_per_tick\": {batch}}},\n  \"rows\": [\n{row_json}\n  ],\n  \
+         \"min_speedup_delta_vs_reexecute\": {min_speedup:.3},\n  \"total_mismatches\": \
+         {total_mismatches}\n}}\n"
+    );
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/BENCH_standing.json", &json).expect("write BENCH_standing.json");
+    println!("wrote results/BENCH_standing.json");
+}

@@ -24,7 +24,7 @@ use stq_core::tracker::Crossing;
 use stq_forms::{EdgeHealth, Evidence, FormStore};
 use stq_mobility::stats::{population_curve, WorkloadStats};
 use stq_net::{ChaosConfig, CrashWindow, SensorFaultKind, SensorFaultMix, SensorFaultPlan};
-use stq_runtime::{DurabilityConfig, QuerySpec, Runtime, RuntimeConfig};
+use stq_runtime::{DurabilityConfig, QuerySpec, Runtime, RuntimeConfig, SubscribeError};
 use stq_sampling::SamplingMethod;
 
 /// Parsed command-line arguments: a subcommand plus `--key value` flags.
@@ -125,7 +125,8 @@ COMMANDS:
                                                 --crash SHARD --retries N --timeout-ms MS
                                                 --chaos-seed S + sensor-fault flags
                                                 --wal-dir DIR --snapshot-every N
-                                                --sync-every N --ingest N --kill SHARD:SEQ]
+                                                --sync-every N --ingest N --kill SHARD:SEQ
+                                                --subscribe N --subscribe-area F]
   recover    rebuild shard state from disk     [--wal-dir DIR --snapshot-every N
                                                 --sync-every N + deployment flags]
   audit      corrupt sensors, audit + repair   [--dead F --lossy F --dup-sensors F
@@ -434,6 +435,31 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 }
             };
             let ingest_n: usize = args.get("ingest", 0)?;
+            // Standing subscriptions: `--subscribe N` registers N regions
+            // before ingestion so the stream moves their brackets by count
+            // deltas. The flag combinations are validated the same way the
+            // durability flags are — a modifier without its anchor is a
+            // refusal, not a silent no-op.
+            let subscribe_n = args.get_opt::<usize>("subscribe")?;
+            let subscribe_area: f64 = match args.get_opt::<f64>("subscribe-area")? {
+                Some(a) => {
+                    if subscribe_n.is_none() {
+                        return Err(CliError::Usage(
+                            "--subscribe-area sizes standing regions and needs --subscribe".into(),
+                        ));
+                    }
+                    a
+                }
+                None => area,
+            };
+            if subscribe_n == Some(0) {
+                return Err(CliError::Usage(
+                    "--subscribe must register at least one standing query".into(),
+                ));
+            }
+            if !(0.0..=1.0).contains(&subscribe_area) {
+                return Err(CliError::Usage("--subscribe-area must be in [0, 1]".into()));
+            }
             let cfg = RuntimeConfig {
                 num_shards: shards,
                 dispatchers,
@@ -467,6 +493,24 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
             } else {
                 Runtime::new(s.sensing.clone(), g.clone(), &s.tracked.store, cfg)
             };
+            // Standing queries register before ingestion: their baselines
+            // snapshot the pre-stream state and every streamed crossing on a
+            // subscribed boundary then arrives as a bracket delta.
+            let mut handles = Vec::new();
+            if let Some(nsub) = subscribe_n {
+                let mut unresolvable = 0usize;
+                for (region, _, _) in s.make_queries(nsub, subscribe_area, 2_000.0, seed ^ 0x51) {
+                    match rt.subscribe(region, Approximation::Lower) {
+                        Ok(h) => handles.push(h),
+                        Err(SubscribeError::Unresolvable) => unresolvable += 1,
+                    }
+                }
+                writeln!(
+                    out,
+                    "standing: registered {} subscriptions ({unresolvable} unresolvable)",
+                    handles.len()
+                )?;
+            }
             // Live ingestion: stream synthetic post-horizon crossings over
             // the monitored links, WAL-logging each when --wal-dir is set
             // (and firing any scheduled --kill, which the supervisor must
@@ -488,6 +532,27 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 }
                 let applied = rt.flush_ingest();
                 writeln!(out, "ingested {ingest_n} crossings (per-shard applied: {applied:?})")?;
+            }
+            if !handles.is_empty() {
+                writeln!(
+                    out,
+                    "{:>7} | {:>10} | {:>10} | {:>10} | {:>6} | {:>5}",
+                    "sub", "value", "lower", "upper", "deltas", "epoch"
+                )?;
+                for h in &handles {
+                    let b = rt.standing_bracket(h.id).expect("subscription is live");
+                    writeln!(
+                        out,
+                        "{:>7} | {:>10.1} | {:>10.1} | {:>10.1} | {:>6} | {:>5}{}",
+                        h.id,
+                        b.value,
+                        b.lower,
+                        b.upper,
+                        b.deltas,
+                        b.epoch,
+                        if b.is_exact() { "" } else { "  WIDENED" }
+                    )?;
+                }
             }
             let specs: Vec<QuerySpec> = s
                 .make_queries(n, area, 2_000.0, seed ^ 0x7)
@@ -935,6 +1000,51 @@ mod tests {
         )
         .unwrap();
         assert!(run(&ok, &mut Vec::new()).is_ok());
+    }
+
+    #[test]
+    fn serve_with_subscriptions_prints_bracket_table() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--queries",
+            "2",
+            "--shards",
+            "2",
+            "--subscribe",
+            "3",
+            "--subscribe-area",
+            "0.1",
+            "--ingest",
+            "90",
+        ]);
+        assert!(out.contains("standing: registered"), "{out}");
+        assert!(out.contains("deltas"), "bracket table header missing:\n{out}");
+        assert!(out.contains("sub-0"), "{out}");
+        assert!(out.contains("standing: subscriptions"), "metrics line missing:\n{out}");
+    }
+
+    #[test]
+    fn subscribe_area_without_subscribe_is_rejected() {
+        let args = Args::parse(["serve", "--subscribe-area", "0.1"].map(String::from)).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("needs --subscribe"), "{err}");
+    }
+
+    #[test]
+    fn subscribe_rejects_degenerate_values() {
+        let args = Args::parse(["serve", "--subscribe", "0"].map(String::from)).unwrap();
+        let err = run(&args, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("--subscribe"), "{err}");
+        let args =
+            Args::parse(["serve", "--subscribe", "2", "--subscribe-area", "1.5"].map(String::from))
+                .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err());
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!   panicked requests, replays snapshot + WAL + the server's redo buffer to
 //!   a **byte-identical** state, and re-admits the shard. While a shard
 //!   recovers, queries skip it and keep returning sound widened brackets.
+//! - **Standing subscriptions** — [`Runtime::subscribe`] registers a region
+//!   once (compiled through the shared plan engine) and from then on every
+//!   ingested crossing on the region's boundary moves the subscription's
+//!   `[lower, upper]` bracket by a count delta instead of re-executing the
+//!   query — bit-identical to re-execution at every epoch, with supervisor
+//!   recovery and quarantine changes triggering a sound re-snapshot (see
+//!   [`stq_subscribe`]).
 //! - **Observability** — a lock-cheap [`Metrics`] registry (atomic counters,
 //!   log₂ latency histogram with p50/p95/p99, bounded per-query traces).
 //!
@@ -41,13 +48,18 @@ pub mod server;
 mod shard;
 mod supervisor;
 
-pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace};
+pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace, SubscriptionTrace};
 pub use server::{
     DurabilityConfig, PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer,
+    SubscriptionHandle,
 };
 pub use shard::ShardHealth;
 pub use stq_net::{
     ChaosBuilder, ChaosConfig, ChaosError, CrashWindow, DurabilityFaultPlan, FaultDecision,
     FaultPlan, IngestCrash, MessageCtx, SensorFault, SensorFaultKind, SensorFaultMix,
     SensorFaultPlan,
+};
+pub use stq_subscribe::{
+    BracketUpdate, Registered, RegistryStats, StandingBracket, SubscribeError, SubscriptionId,
+    SubscriptionRegistry, UpdateCause,
 };

@@ -39,6 +39,26 @@ pub struct QueryTrace {
     pub miss: bool,
 }
 
+/// One standing-subscription lifecycle event, as remembered by the
+/// subscription trace ring (per-delta pushes are accounted in the
+/// `delta_push_latency` histogram instead of traced individually — a
+/// standing query sees thousands of deltas per re-snapshot).
+#[derive(Clone, Debug)]
+pub struct SubscriptionTrace {
+    /// Registry-assigned subscription id.
+    pub subscription: u64,
+    /// Registry epoch at the event.
+    pub epoch: u64,
+    /// Bracket estimate after the event (0 for unsubscribes).
+    pub value: f64,
+    /// Bracket lower bound after the event.
+    pub lower: f64,
+    /// Bracket upper bound after the event.
+    pub upper: f64,
+    /// `"registered"`, `"resnapshot"` or `"unsubscribed"`.
+    pub cause: &'static str,
+}
+
 /// Log₂-bucketed latency histogram (microseconds).
 #[derive(Debug)]
 pub struct Histogram {
@@ -161,7 +181,20 @@ pub struct Metrics {
     pub latency: Histogram,
     /// Supervisor recovery duration (abnormal exit → re-admitted).
     pub recovery_us: Histogram,
+    /// Gauge: live standing subscriptions in the registry.
+    pub subscriptions: AtomicU64,
+    /// Bracket deltas pushed to standing subscriptions by ingested events.
+    pub deltas_pushed: AtomicU64,
+    /// Per-subscription re-snapshots at epoch advances (recovery, repair,
+    /// forced).
+    pub sub_resnapshots: AtomicU64,
+    /// Gauge: current subscription-registry epoch.
+    pub sub_epoch: AtomicU64,
+    /// Time `ingest` spends delta-pushing one event to all affected
+    /// standing brackets — the staleness of the push path.
+    pub delta_push_latency: Histogram,
     traces: Mutex<VecDeque<QueryTrace>>,
+    sub_traces: Mutex<VecDeque<SubscriptionTrace>>,
 }
 
 impl Metrics {
@@ -202,6 +235,21 @@ impl Metrics {
         self.traces.lock().iter().cloned().collect()
     }
 
+    /// Records a subscription lifecycle event (evicting the oldest past
+    /// capacity).
+    pub fn trace_subscription(&self, t: SubscriptionTrace) {
+        let mut ring = self.sub_traces.lock();
+        if ring.len() == TRACE_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(t);
+    }
+
+    /// A copy of the most recent subscription traces, oldest first.
+    pub fn recent_subscription_traces(&self) -> Vec<SubscriptionTrace> {
+        self.sub_traces.lock().iter().cloned().collect()
+    }
+
     /// A point-in-time snapshot for reporting.
     pub fn report(&self) -> MetricsReport {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
@@ -234,6 +282,11 @@ impl Metrics {
             plan_cache_hits: load(&self.plan_cache_hits),
             plan_cache_misses: load(&self.plan_cache_misses),
             plan_invalidations: load(&self.plan_invalidations),
+            subscriptions: load(&self.subscriptions),
+            deltas_pushed: load(&self.deltas_pushed),
+            sub_resnapshots: load(&self.sub_resnapshots),
+            sub_epoch: load(&self.sub_epoch),
+            delta_push_p95_us: self.delta_push_latency.quantile_us(0.95),
             plan_p95_us: self.plan_latency.quantile_us(0.95),
             execute_p95_us: self.execute_latency.quantile_us(0.95),
             p50_us: self.latency.quantile_us(0.50),
@@ -302,6 +355,16 @@ pub struct MetricsReport {
     pub plan_cache_misses: u64,
     /// See [`Metrics::plan_invalidations`].
     pub plan_invalidations: u64,
+    /// See [`Metrics::subscriptions`] (gauge at snapshot time).
+    pub subscriptions: u64,
+    /// See [`Metrics::deltas_pushed`].
+    pub deltas_pushed: u64,
+    /// See [`Metrics::sub_resnapshots`].
+    pub sub_resnapshots: u64,
+    /// See [`Metrics::sub_epoch`] (gauge at snapshot time).
+    pub sub_epoch: u64,
+    /// 95th-percentile delta-push latency bucket edge (µs).
+    pub delta_push_p95_us: u64,
     /// 95th-percentile plan-acquisition latency bucket edge (µs).
     pub plan_p95_us: u64,
     /// 95th-percentile plan-execution latency bucket edge (µs).
@@ -349,6 +412,16 @@ impl fmt::Display for MetricsReport {
             self.lost_events,
             self.skipped_unhealthy,
             self.recovering
+        )?;
+        writeln!(
+            f,
+            "standing: subscriptions {}, deltas pushed {}, resnapshots {}, epoch {}, \
+             delta push p95 {}us",
+            self.subscriptions,
+            self.deltas_pushed,
+            self.sub_resnapshots,
+            self.sub_epoch,
+            self.delta_push_p95_us
         )?;
         writeln!(
             f,
@@ -507,6 +580,48 @@ mod tests {
         // Pre-existing lines keep their shape (additive change only).
         assert!(text.contains("latency p50"));
         assert!(text.contains("queries 0"));
+    }
+
+    #[test]
+    fn subscription_counters_round_trip_report() {
+        let m = Metrics::new();
+        m.subscriptions.store(3, Ordering::Relaxed);
+        Metrics::add(&m.deltas_pushed, 41);
+        Metrics::add(&m.sub_resnapshots, 6);
+        m.sub_epoch.store(2, Ordering::Relaxed);
+        m.delta_push_latency.record(9);
+        let r = m.report();
+        assert_eq!(r.subscriptions, 3);
+        assert_eq!(r.deltas_pushed, 41);
+        assert_eq!(r.sub_resnapshots, 6);
+        assert_eq!(r.sub_epoch, 2);
+        assert!(r.delta_push_p95_us >= 9);
+        let text = r.to_string();
+        assert!(text.contains("subscriptions 3"));
+        assert!(text.contains("deltas pushed 41"));
+        assert!(text.contains("resnapshots 6"));
+        // Pre-existing lines keep their shape (additive change only).
+        assert!(text.contains("latency p50"));
+        assert!(text.contains("plan hits"));
+    }
+
+    #[test]
+    fn subscription_trace_ring_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(TRACE_CAP as u64 + 10) {
+            m.trace_subscription(SubscriptionTrace {
+                subscription: i,
+                epoch: 0,
+                value: 1.0,
+                lower: 1.0,
+                upper: 1.0,
+                cause: "registered",
+            });
+        }
+        let traces = m.recent_subscription_traces();
+        assert_eq!(traces.len(), TRACE_CAP);
+        assert_eq!(traces[0].subscription, 10, "oldest entries evicted first");
+        assert_eq!(traces.last().unwrap().cause, "registered");
     }
 
     #[test]

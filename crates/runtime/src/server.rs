@@ -50,8 +50,12 @@ use stq_core::sensing::SensingGraph;
 use stq_core::tracker::Crossing;
 use stq_forms::{BoundaryEdge, FormStore, TrackingForm};
 use stq_net::{DurabilityFaultPlan, FaultPlan};
+use stq_subscribe::{
+    BracketUpdate, RegistryStats, StandingBracket, SubscribeError, SubscriptionId,
+    SubscriptionRegistry,
+};
 
-use crate::metrics::{Metrics, QueryTrace};
+use crate::metrics::{Metrics, QueryTrace, SubscriptionTrace};
 use crate::shard::{EdgeCounts, ShardHealth, ShardMsg, ShardRequest, ShardResponse, HEALTHY};
 use crate::supervisor::{IngestLane, Supervisor, SupervisorMsg};
 
@@ -183,6 +187,23 @@ pub struct ServedAnswer {
     pub latency: Duration,
 }
 
+/// A live standing subscription: its identity, baseline bracket, and the
+/// channel on which every later [`BracketUpdate`] (deltas and epoch
+/// re-snapshots) is pushed. Dropping the receiver auto-unsubscribes on the
+/// next failed push.
+pub struct SubscriptionHandle {
+    /// The registry-assigned subscription id.
+    pub id: SubscriptionId,
+    /// The bracket at registration time (also the first pushed update).
+    pub baseline: StandingBracket,
+    /// Whether the region's plan was served from the engine's cache.
+    pub plan_cache_hit: bool,
+    /// Boundary edges the subscription listens on.
+    pub boundary_edges: usize,
+    /// Pushed bracket updates, in order.
+    pub updates: Receiver<BracketUpdate>,
+}
+
 /// A handle to an in-flight query.
 pub struct PendingAnswer(Receiver<ServedAnswer>);
 
@@ -207,8 +228,10 @@ struct ServerState {
     sampled: SampledGraph,
     /// Per-edge lifetime crossing counts `[forward, backward]` — the
     /// degradation bounds for silent shards. Atomic because `ingest` grows
-    /// them while queries read them.
-    totals: Vec<[AtomicU64; 2]>,
+    /// them while queries read them; owned by the subscription registry,
+    /// which bumps them inside its lock so standing brackets and totals
+    /// can never observe each other half-updated.
+    totals: Arc<Vec<[AtomicU64; 2]>>,
     cfg: RuntimeConfig,
     to_shards: Vec<Sender<ShardMsg>>,
     lanes: Arc<Vec<Mutex<IngestLane>>>,
@@ -218,6 +241,9 @@ struct ServerState {
     /// Shared plan cache: dispatchers compile and reuse region plans here;
     /// the supervisor invalidates it on every recovery.
     engine: Arc<QueryEngine>,
+    /// Standing-query registry: every ingested event routes through it
+    /// (delta-push), and the supervisor re-snapshots it on every recovery.
+    subs: Arc<SubscriptionRegistry>,
 }
 
 /// A running sharded query server over one deployment.
@@ -268,15 +294,19 @@ impl Runtime {
         for &e in quarantined {
             bad[e % ns].insert(e);
         }
-        let mut totals = Vec::with_capacity(store.num_edges());
         for e in 0..store.num_edges() {
-            let form = store.form(e);
-            totals.push([
-                AtomicU64::new(form.total(true) as u64),
-                AtomicU64::new(form.total(false) as u64),
-            ]);
-            parts[e % ns].insert(e, form.clone());
+            parts[e % ns].insert(e, store.form(e).clone());
         }
+        // The registry derives the lifetime totals (shared here for the
+        // aggregator's degradation bounds), the applied-count mirror and the
+        // per-direction watermarks from the same store the shards start on.
+        let engine = Arc::new(QueryEngine::new(cfg.plan_cache));
+        let subs = Arc::new(SubscriptionRegistry::new(
+            Arc::clone(&engine),
+            store,
+            quarantined.iter().copied(),
+        ));
+        let totals = Arc::clone(subs.totals());
 
         let mut to_shards = Vec::with_capacity(ns);
         let mut receivers = Vec::with_capacity(ns);
@@ -293,7 +323,6 @@ impl Runtime {
         let durable_seq: Arc<Vec<AtomicU64>> =
             Arc::new((0..ns).map(|_| AtomicU64::new(0)).collect());
 
-        let engine = Arc::new(QueryEngine::new(cfg.plan_cache));
         let (events_tx, events_rx) = channel::unbounded::<SupervisorMsg>();
         let supervisor = Supervisor::start(
             parts,
@@ -307,6 +336,7 @@ impl Runtime {
             Arc::clone(&durable_seq),
             Arc::clone(&metrics),
             Arc::clone(&engine),
+            Arc::clone(&subs),
             events_tx.clone(),
         );
         let supervisor_thread = std::thread::Builder::new()
@@ -325,6 +355,7 @@ impl Runtime {
             durable_seq,
             metrics: Arc::clone(&metrics),
             engine,
+            subs,
         });
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
         let mut dispatcher_threads = Vec::with_capacity(cfg.dispatchers);
@@ -363,18 +394,119 @@ impl Runtime {
         self.state.as_ref().expect("runtime is running").engine.stats()
     }
 
+    /// Registers a standing subscription on `region`: the region is
+    /// compiled once through the shared plan engine (LRU-cached), its
+    /// boundary edges are indexed in the registry's routing table, and from
+    /// here on every ingested crossing on those edges moves the
+    /// subscription's `[lower, upper]` bracket by a count delta — no
+    /// re-execution. Returns [`SubscribeError::Unresolvable`] when the
+    /// sampled graph cannot cover the region (the miss case of `query`).
+    pub fn subscribe(
+        &self,
+        region: QueryRegion,
+        approx: Approximation,
+    ) -> Result<SubscriptionHandle, SubscribeError> {
+        let st = self.state.as_ref().expect("runtime is running");
+        let (tx, rx) = channel::unbounded::<BracketUpdate>();
+        let reg = st.subs.subscribe(&st.sensing, &st.sampled, &region, approx, Some(tx))?;
+        st.metrics.subscriptions.store(st.subs.len() as u64, Ordering::Relaxed);
+        st.metrics.trace_subscription(SubscriptionTrace {
+            subscription: reg.id.0,
+            epoch: reg.bracket.epoch,
+            value: reg.bracket.value,
+            lower: reg.bracket.lower,
+            upper: reg.bracket.upper,
+            cause: "registered",
+        });
+        Ok(SubscriptionHandle {
+            id: reg.id,
+            baseline: reg.bracket,
+            plan_cache_hit: reg.plan_cache_hit,
+            boundary_edges: reg.boundary_edges,
+            updates: rx,
+        })
+    }
+
+    /// Deregisters a standing subscription. Returns whether it existed.
+    pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        let st = self.state.as_ref().expect("runtime is running");
+        let existed = st.subs.unsubscribe(id);
+        st.metrics.subscriptions.store(st.subs.len() as u64, Ordering::Relaxed);
+        if existed {
+            st.metrics.trace_subscription(SubscriptionTrace {
+                subscription: id.0,
+                epoch: st.subs.epoch(),
+                value: 0.0,
+                lower: 0.0,
+                upper: 0.0,
+                cause: "unsubscribed",
+            });
+        }
+        existed
+    }
+
+    /// The current delta-maintained bracket of one subscription.
+    pub fn standing_bracket(&self, id: SubscriptionId) -> Option<StandingBracket> {
+        self.state.as_ref().expect("runtime is running").subs.bracket(id)
+    }
+
+    /// All live `(id, bracket)` pairs, sorted by id.
+    pub fn standing_brackets(&self) -> Vec<(SubscriptionId, StandingBracket)> {
+        self.state.as_ref().expect("runtime is running").subs.brackets()
+    }
+
+    /// Registry accounting (subscriptions, epoch, deltas, re-snapshots).
+    pub fn subscription_stats(&self) -> RegistryStats {
+        self.state.as_ref().expect("runtime is running").subs.stats()
+    }
+
+    /// Forces a new subscription epoch: every standing bracket is
+    /// recomputed from the registry's mirror through its compiled plan and
+    /// re-pushed (`cause == Resnapshot`) — the same sound hand-off the
+    /// supervisor performs on crash recovery, callable directly for
+    /// repair-driven topology changes and for differential testing of the
+    /// epoch protocol. Returns the new epoch.
+    pub fn resnapshot_subscriptions(&self) -> u64 {
+        let st = self.state.as_ref().expect("runtime is running");
+        let updates = st.subs.advance_epoch([]);
+        Metrics::add(&st.metrics.sub_resnapshots, updates.len() as u64);
+        let epoch = st.subs.epoch();
+        st.metrics.sub_epoch.store(epoch, Ordering::Relaxed);
+        for u in &updates {
+            st.metrics.trace_subscription(SubscriptionTrace {
+                subscription: u.subscription.0,
+                epoch: u.epoch,
+                value: u.bracket.value,
+                lower: u.bracket.lower,
+                upper: u.bracket.upper,
+                cause: "resnapshot",
+            });
+        }
+        epoch
+    }
+
     /// Streams one boundary-crossing event into the owning shard. The event
     /// is sequence-stamped, retained in the redo buffer until the shard
     /// acknowledges durability, and folded into the shard's forms (and WAL)
     /// by the worker. The per-edge lifetime totals grow *before* the shard
     /// applies the event, so degradation bounds for silent shards stay
-    /// sound at every instant.
+    /// sound at every instant — and the subscription registry applies the
+    /// event's bracket deltas in the same step (the event-driven push path:
+    /// standing answers are fresh the moment `ingest` returns, without any
+    /// re-execution).
     pub fn ingest(&self, c: Crossing) {
         let st = self.state.as_ref().expect("runtime is running");
         assert!(c.edge < st.totals.len(), "ingest for unknown edge {}", c.edge);
         assert!(c.time.is_finite(), "crossing time must be finite");
         let shard = c.edge % st.cfg.num_shards;
-        st.totals[c.edge][usize::from(!c.forward)].fetch_add(1, Ordering::Relaxed);
+        // Routes the event through the registry: bumps the lifetime totals
+        // (inside the registry lock) and delta-pushes affected brackets.
+        let push_t0 = Instant::now();
+        let obs = st.subs.on_ingest(&c);
+        if obs.deltas > 0 {
+            st.metrics.delta_push_latency.record(push_t0.elapsed().as_micros() as u64);
+            Metrics::add(&st.metrics.deltas_pushed, obs.deltas as u64);
+        }
         // The lane lock covers sequence assignment AND the channel send, so
         // sequences arrive at the worker in order.
         let mut lane = st.lanes[shard].lock();

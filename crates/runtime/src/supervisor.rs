@@ -45,8 +45,9 @@ use stq_core::tracker::Crossing;
 use stq_durability::{apply_crossing, recover_shard, ShardDurability};
 use stq_forms::TrackingForm;
 use stq_net::{DurabilityFaultPlan, FaultPlan};
+use stq_subscribe::SubscriptionRegistry;
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, SubscriptionTrace};
 use crate::server::DurabilityConfig;
 use crate::shard::{ShardMsg, ShardWorker, WorkerExit, WorkerSeed, HEALTHY, RECOVERING};
 
@@ -92,6 +93,10 @@ pub(crate) struct Supervisor {
     /// The dispatchers' plan cache, cleared on every recovery (recovery may
     /// extend quarantine, so cached plans are dropped conservatively).
     engine: Arc<QueryEngine>,
+    /// The standing-query registry: every recovery advances its epoch (and
+    /// re-snapshots all brackets) *before* the health flip, so a delta
+    /// arriving mid-recovery can never survive into a pre-crash bracket.
+    subs: Arc<SubscriptionRegistry>,
     events_tx: Sender<SupervisorMsg>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -113,6 +118,7 @@ impl Supervisor {
         durable_seq: Arc<Vec<AtomicU64>>,
         metrics: Arc<Metrics>,
         engine: Arc<QueryEngine>,
+        subs: Arc<SubscriptionRegistry>,
         events_tx: Sender<SupervisorMsg>,
     ) -> Self {
         let dfaults =
@@ -130,6 +136,7 @@ impl Supervisor {
             durable_seq,
             metrics,
             engine,
+            subs,
             events_tx,
             handles: Vec::new(),
         };
@@ -235,13 +242,35 @@ impl Supervisor {
         }
         debug_assert_eq!(last_seq, lane.next_seq, "redo must reach the lane head");
 
-        let mut quarantined = self.quarantine[shard].clone();
-        quarantined.extend(extra_quarantine);
+        // Persist any extra quarantine into the supervisor's own set: a
+        // *second* recovery of this shard must re-impose it, not forget it.
+        self.quarantine[shard].extend(extra_quarantine);
+        let quarantined = self.quarantine[shard].clone();
         // Recovery is the one runtime event that can change the serving
         // topology (extra quarantine on unreadable disk or a redo gap), so
         // cached plans are dropped wholesale and recompiled on demand.
         self.engine.invalidate();
         Metrics::bump(&self.metrics.plan_invalidations);
+        // Advance the subscription epoch while the lane is still frozen and
+        // the shard still reads Recovering: every standing bracket is
+        // re-snapshot from the registry's mirror (which the lane lock keeps
+        // in lock-step with the redo replay above), so a delta that raced
+        // the crash is overwritten before any post-recovery delta can land
+        // on top of it — the bump is atomic with the health flip below as
+        // far as ingest can observe.
+        let resnapped = self.subs.advance_epoch(quarantined.iter().copied());
+        Metrics::add(&self.metrics.sub_resnapshots, resnapped.len() as u64);
+        self.metrics.sub_epoch.store(self.subs.epoch(), Ordering::Relaxed);
+        for u in &resnapped {
+            self.metrics.trace_subscription(SubscriptionTrace {
+                subscription: u.subscription.0,
+                epoch: u.epoch,
+                value: u.bracket.value,
+                lower: u.bracket.lower,
+                upper: u.bracket.upper,
+                cause: "resnapshot",
+            });
+        }
         // Health and the respawn counters flip BEFORE the worker spawns
         // (still under the lane lock): everything the new worker
         // acknowledges — flush barriers, digests, query replies — then

@@ -51,3 +51,5 @@ pub use stq_sampling as sampling;
 pub use stq_spatial as spatial;
 /// Submodular maximization (paper §4.4).
 pub use stq_submod as submod;
+/// Standing subscriptions maintained by count deltas.
+pub use stq_subscribe as subscribe;

@@ -1,0 +1,304 @@
+//! Differential properties of the subscription registry: delta-maintained
+//! brackets are **bit-identical** to re-executing the compiled plan against
+//! a reference store that applies the exact shard accept rule — through
+//! random streams with late events, on clean and quarantined deployments,
+//! across epoch boundaries.
+//!
+//! `standing_registry_suite` is the CI entry point: `STQ_STANDING_SEED`
+//! re-keys the whole scenario, so a matrix over seeds exercises different
+//! cities, deployments and streams against the same assertions.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use stq_core::engine::QueryEngine;
+use stq_core::prelude::*;
+use stq_core::tracker::Crossing;
+use stq_forms::FormStore;
+use stq_subscribe::{SubscribeError, SubscriptionRegistry, UpdateCause};
+
+/// A snapshot instant past every event either side will ever ingest: the
+/// standing bracket tracks *live net occupancy*, i.e. the snapshot fold at
+/// any time beyond the stream horizon.
+const T_LATE: f64 = 1.0e15;
+
+fn small_scenario() -> impl Strategy<Value = Scenario> {
+    (60usize..140, 0u64..200, 2usize..8).prop_map(|(junctions, seed, objs)| {
+        Scenario::build(ScenarioConfig {
+            junctions,
+            mix: WorkloadMix { random_waypoint: objs, commuter: objs, transit: objs / 2 },
+            trajectory: TrajectoryConfig {
+                speed: 8.0,
+                pause: 30.0,
+                duration: 1_500.0,
+                exit_probability: 0.2,
+            },
+            seed,
+            ..Default::default()
+        })
+    })
+}
+
+fn deployment(s: &Scenario, frac: f64, seed: u64) -> SampledGraph {
+    let cands = s.sensing.sensor_candidates();
+    let m = ((cands.len() as f64 * frac) as usize).max(3);
+    let ids = stq_sampling::sample(stq_sampling::SamplingMethod::QuadTree, &cands, m, seed);
+    let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+    SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation)
+}
+
+/// Every `stride`-th monitored edge — the quarantine list the runtime hands
+/// its shards (`Runtime::with_quarantine` keeps the graph, refuses edges).
+fn quarantine_list(g: &SampledGraph, stride: usize) -> Vec<usize> {
+    g.monitored()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &on)| on)
+        .map(|(e, _)| e)
+        .step_by(stride)
+        .collect()
+}
+
+fn monitored_edges(g: &SampledGraph) -> Vec<usize> {
+    g.monitored().iter().enumerate().filter(|&(_, &on)| on).map(|(e, _)| e).collect()
+}
+
+/// A deterministic post-history stream over the monitored edges: mostly
+/// monotone times, with every 11th event thrown far into the past so the
+/// watermark mirror (the `apply_crossing` accept rule) gets exercised.
+fn stream(edges: &[usize], n: usize, t0: f64, salt: u64) -> Vec<Crossing> {
+    (0..n)
+        .map(|i| {
+            let k = (i as u64).wrapping_mul(0x9e37_79b9).wrapping_add(salt);
+            let late = i % 11 == 10;
+            Crossing {
+                time: if late { t0 - 500.0 + (i % 7) as f64 } else { t0 + i as f64 * 0.25 },
+                edge: edges[(k as usize) % edges.len()],
+                forward: k & 2 == 0,
+            }
+        })
+        .collect()
+}
+
+/// The reference model: the exact accept rule of the shard ingest path
+/// (`stq_durability::apply_crossing` — reject iff strictly behind the
+/// direction's last timestamp), applied to a plain [`FormStore`].
+fn reference_apply(store: &mut FormStore, c: &Crossing) -> bool {
+    if store.form(c.edge).timestamps(c.forward).last().is_some_and(|&last| c.time < last) {
+        return false;
+    }
+    store.record(c.edge, c.forward, c.time);
+    true
+}
+
+/// Folds the reference store into the expected `(value, lower, upper)` for
+/// one plan, term by term in plan order, mirroring the serving runtime's
+/// aggregation: a trusted boundary edge contributes its net count to all
+/// three; a quarantined one contributes its lifetime worst case (totals of
+/// *every* ingested event, late ones included) to the bounds only.
+fn reference_bracket(
+    plan: &stq_core::engine::QueryPlan,
+    store: &FormStore,
+    totals: &[[u64; 2]],
+    quarantined: &[usize],
+) -> (f64, f64, f64) {
+    let (mut value, mut lower, mut upper) = (0.0f64, 0.0f64, 0.0f64);
+    for be in &plan.boundary {
+        if quarantined.contains(&be.edge) {
+            let (fwd, bwd) = (totals[be.edge][0] as f64, totals[be.edge][1] as f64);
+            let (t_in, t_out) = if be.inward_forward { (fwd, bwd) } else { (bwd, fwd) };
+            lower -= t_out;
+            upper += t_in;
+        } else {
+            let form = store.form(be.edge);
+            let net = form.count_until(be.inward_forward, T_LATE) as f64
+                - form.count_until(!be.inward_forward, T_LATE) as f64;
+            value += net;
+            lower += net;
+            upper += net;
+        }
+    }
+    (value, lower, upper)
+}
+
+fn assert_bits(a: f64, b: f64, ctx: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: {a} vs {b}");
+}
+
+/// The core differential: run a stream through the registry and the
+/// reference model side by side, checking bit-identity at every epoch
+/// boundary (and that re-snapshot reproduces the delta-maintained bracket
+/// exactly), on one graph with one quarantine list.
+fn run_differential(s: &Scenario, g: &SampledGraph, quarantined: &[usize], seed: u64) {
+    let engine = Arc::new(QueryEngine::new(64));
+    let registry =
+        SubscriptionRegistry::new(Arc::clone(&engine), &s.tracked.store, quarantined.to_vec());
+    let mut store = s.tracked.store.clone();
+    let mut totals: Vec<[u64; 2]> = (0..store.num_edges())
+        .map(|e| [store.form(e).total(true) as u64, store.form(e).total(false) as u64])
+        .collect();
+
+    let mut subs = Vec::new();
+    for (q, _, _) in s.make_queries(4, 0.15, 300.0, seed ^ 0x99) {
+        for approx in [Approximation::Lower, Approximation::Upper] {
+            match registry.subscribe(&s.sensing, g, &q, approx, None) {
+                Ok(reg) => subs.push((
+                    reg.id,
+                    engine
+                        .cached(reg.plan_id)
+                        .unwrap_or_else(|| panic!("plan of a live subscription must stay cached")),
+                )),
+                Err(SubscribeError::Unresolvable) => {}
+            }
+        }
+    }
+    if subs.is_empty() {
+        return; // tiny deployments can miss every region; nothing to check
+    }
+
+    let edges = monitored_edges(g);
+    let events = stream(&edges, 400, 2_000.0, seed);
+    for (epoch_round, chunk) in events.chunks(100).enumerate() {
+        for c in chunk {
+            registry.on_ingest(c);
+            totals[c.edge][usize::from(!c.forward)] += 1;
+            reference_apply(&mut store, c);
+        }
+        // Between-epoch check: the delta-maintained bracket equals the
+        // reference fold bit for bit.
+        for (id, plan) in &subs {
+            let b = registry.bracket(*id).expect("subscription is live");
+            let (v, lo, hi) = reference_bracket(plan, &store, &totals, quarantined);
+            let ctx = format!("{id} round {epoch_round} pre-epoch");
+            assert_bits(b.value, v, &format!("{ctx}: value"));
+            assert_bits(b.lower, lo, &format!("{ctx}: lower"));
+            assert_bits(b.upper, hi, &format!("{ctx}: upper"));
+        }
+        // Epoch boundary: re-snapshot must reproduce the incrementally
+        // maintained bracket exactly — the soundness of the hand-off.
+        let before: Vec<_> = subs.iter().map(|(id, _)| registry.bracket(*id).unwrap()).collect();
+        let updates = registry.advance_epoch([]);
+        assert_eq!(updates.len(), subs.len());
+        for (u, b) in updates.iter().zip(&before) {
+            assert_eq!(u.cause, UpdateCause::Resnapshot);
+            assert_bits(u.bracket.value, b.value, "resnapshot value");
+            assert_bits(u.bracket.lower, b.lower, "resnapshot lower");
+            assert_bits(u.bracket.upper, b.upper, "resnapshot upper");
+            assert_eq!(u.bracket.epoch, b.epoch + 1, "epoch must advance");
+            assert_eq!(u.bracket.deltas, 0, "re-snapshot resets the delta count");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Delta maintenance is bit-identical to the reference fold on a clean
+    /// deployment, at every epoch, through late events.
+    #[test]
+    fn deltas_match_reexecution_clean(s in small_scenario(),
+                                      frac in 0.1f64..0.5,
+                                      seed in 0u64..100) {
+        let g = deployment(&s, frac, seed);
+        run_differential(&s, &g, &[], seed);
+    }
+
+    /// Same property with a quarantine stride: trusted edges stay exact,
+    /// quarantined ones widen by the totals worst case — still bit-identical
+    /// to the reference fold at every epoch.
+    #[test]
+    fn deltas_match_reexecution_quarantined(s in small_scenario(),
+                                            frac in 0.1f64..0.5,
+                                            seed in 0u64..100,
+                                            stride in 2usize..6) {
+        let g = deployment(&s, frac, seed);
+        let q = quarantine_list(&g, stride);
+        run_differential(&s, &g, &q, seed);
+    }
+}
+
+/// The CI standing-equivalence job's registry half: one deterministic
+/// scenario per `STQ_STANDING_SEED`, clean and quarantined, multi-epoch.
+#[test]
+fn standing_registry_suite() {
+    let seed: u64 =
+        std::env::var("STQ_STANDING_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(11);
+    let s = Scenario::build(ScenarioConfig {
+        junctions: 200,
+        mix: WorkloadMix { random_waypoint: 10, commuter: 8, transit: 5 },
+        trajectory: TrajectoryConfig {
+            speed: 10.0,
+            pause: 30.0,
+            duration: 2_500.0,
+            exit_probability: 0.15,
+        },
+        seed,
+        ..Default::default()
+    });
+    let g = deployment(&s, 0.25, seed ^ 0xce);
+    run_differential(&s, &g, &[], seed);
+    run_differential(&s, &g, &quarantine_list(&g, 3), seed ^ 0x5a);
+}
+
+#[test]
+fn late_events_do_not_move_trusted_brackets() {
+    let s = Scenario::build(ScenarioConfig::default());
+    let g = deployment(&s, 0.3, 7);
+    let engine = Arc::new(QueryEngine::new(16));
+    let registry = SubscriptionRegistry::new(Arc::clone(&engine), &s.tracked.store, []);
+    let Some((q, _, _)) = s.make_queries(8, 0.2, 300.0, 17).into_iter().next() else {
+        panic!("scenario must yield a region");
+    };
+    let reg = registry
+        .subscribe(&s.sensing, &g, &q, Approximation::Upper, None)
+        .expect("region resolves");
+    let plan = engine.cached(reg.plan_id).expect("plan cached");
+    let Some(be) = plan.boundary.first().copied() else {
+        return; // empty boundary: nothing to ingest on
+    };
+    // An event far before the edge's recorded history is late in a non-empty
+    // direction: totals grow, the trusted bracket must not move.
+    let dir_nonempty = s.tracked.store.form(be.edge).total(true) > 0;
+    if !dir_nonempty {
+        return;
+    }
+    let before = registry.bracket(reg.id).unwrap();
+    let obs = registry.on_ingest(&Crossing { time: -1.0e12, edge: be.edge, forward: true });
+    assert!(obs.late, "event behind the watermark must be flagged late");
+    let after = registry.bracket(reg.id).unwrap();
+    assert_eq!(before, after, "late event on a trusted edge must not move the bracket");
+    assert_eq!(registry.stats().late_ignored, 1);
+}
+
+#[test]
+fn unsubscribe_and_dead_channels_clean_routes() {
+    let s = Scenario::build(ScenarioConfig::default());
+    let g = deployment(&s, 0.3, 7);
+    let engine = Arc::new(QueryEngine::new(16));
+    let registry = SubscriptionRegistry::new(Arc::clone(&engine), &s.tracked.store, []);
+    let Some((q, _, _)) = s.make_queries(8, 0.2, 300.0, 23).into_iter().next() else {
+        panic!("scenario must yield a region");
+    };
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let a = registry.subscribe(&s.sensing, &g, &q, Approximation::Upper, Some(tx)).unwrap();
+    let b = registry.subscribe(&s.sensing, &g, &q, Approximation::Upper, None).unwrap();
+    assert!(b.plan_cache_hit, "second subscription on the same region reuses the plan");
+    assert_eq!(registry.len(), 2);
+
+    // The push channel delivered the baseline.
+    let first = rx.recv().expect("baseline update");
+    assert_eq!(first.cause, UpdateCause::Registered);
+    assert_eq!(first.subscription, a.id);
+
+    assert!(registry.unsubscribe(b.id));
+    assert!(!registry.unsubscribe(b.id), "double unsubscribe reports absence");
+    assert_eq!(registry.len(), 1);
+
+    // Dropping the receiver auto-unsubscribes on the next push attempt.
+    drop(rx);
+    let plan = engine.cached(a.plan_id).expect("plan cached");
+    if let Some(be) = plan.boundary.first().copied() {
+        registry.on_ingest(&Crossing { time: 1.0e9, edge: be.edge, forward: true });
+        assert_eq!(registry.len(), 0, "dead push channel implies unsubscribe");
+    }
+}
