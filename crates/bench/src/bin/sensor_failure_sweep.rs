@@ -28,6 +28,15 @@
 //!    assert the core contract: the corrupted edge is either restored to
 //!    byte-equality with a clean ingestion or quarantined — never silently
 //!    served wrong.
+//! 3. **Mixed cocktail** — dead + skewed + flipped simultaneously, served
+//!    once with degraded-mode answering enabled and once with imputation
+//!    switched off, so the marginal value of conservation-residual
+//!    imputation under compound faults is a measured cell, not a claim.
+//!
+//! Each dead-sweep cell also answers every query through the
+//! [`DegradedAnswerer`] escalation (multi-face detours → imputation →
+//! learned fallback); those brackets are asserted sound exactly like the
+//! demoted and rerouted ones, and the per-strategy tallies are reported.
 
 use std::collections::HashSet;
 use std::fmt::Write as _;
@@ -55,6 +64,53 @@ struct SweepOut {
     rerouted_sound: usize,
     rerouted_misses: usize,
     rerouted_mean_coverage: f64,
+    degraded: DegradedOut,
+}
+
+/// Measurements of one degraded-mode answering pass (soundness is asserted
+/// inline; a violation aborts the sweep).
+struct DegradedOut {
+    sound: usize,
+    misses: usize,
+    infinite: usize,
+    mean_coverage: f64,
+    mean_confidence: f64,
+    mean_width: f64,
+    finite: usize,
+    /// Winning-strategy tally: [demoted, detour, imputed, learned].
+    strategies: [usize; 4],
+}
+
+impl DegradedOut {
+    fn json(&self) -> String {
+        format!(
+            "{{\"sound\": {}, \"misses\": {}, \"infinite_brackets\": {}, \
+             \"mean_coverage\": {:.4}, \"mean_confidence\": {:.4}, \"mean_width\": {}, \
+             \"strategies\": {{\"demoted\": {}, \"detour\": {}, \"imputed\": {}, \
+             \"learned\": {}}}}}",
+            self.sound,
+            self.misses,
+            self.infinite,
+            self.mean_coverage,
+            self.mean_confidence,
+            width_json(self.finite, self.mean_width),
+            self.strategies[0],
+            self.strategies[1],
+            self.strategies[2],
+            self.strategies[3]
+        )
+    }
+}
+
+/// `mean_width` is an average over *finite* brackets; with none measured
+/// there is no mean, and printing `0.000` would fake a perfectly tight
+/// cell. Emit JSON `null` so "no sound answers" stays distinguishable.
+fn width_json(finite: usize, mean: f64) -> String {
+    if finite == 0 {
+        "null".to_string()
+    } else {
+        format!("{mean:.3}")
+    }
 }
 
 fn build(seed: u64, junctions: usize, objects: usize) -> (Scenario, SampledGraph) {
@@ -134,6 +190,79 @@ fn answer_all(
     (sound, misses, infinite, cov_sum, width_sum, finite)
 }
 
+/// Answers every query through the degraded-mode escalation, asserting the
+/// certified bracket is sound and the point estimate honest (inside it).
+fn answer_degraded(
+    s: &Scenario,
+    deg: &DegradedAnswerer,
+    tracked: &Tracked,
+    queries: &[(QueryRegion, f64, f64)],
+    label: &str,
+) -> DegradedOut {
+    let mut o = DegradedOut {
+        sound: 0,
+        misses: 0,
+        infinite: 0,
+        mean_coverage: 0.0,
+        mean_confidence: 0.0,
+        mean_width: 0.0,
+        finite: 0,
+        strategies: [0; 4],
+    };
+    let (mut cov_sum, mut conf_sum, mut width_sum) = (0.0f64, 0.0f64, 0.0f64);
+    for (q, t0, t1) in queries {
+        let inside = |j: usize| q.junctions.contains(&j);
+        for kind in
+            [QueryKind::Snapshot(*t0), QueryKind::Transient(*t0, *t1), QueryKind::Static(*t0, *t1)]
+        {
+            let a = deg.answer(&s.sensing, &tracked.store, q, kind);
+            if a.bracket.miss {
+                o.misses += 1;
+                continue;
+            }
+            let truth = match kind {
+                QueryKind::Snapshot(t) => tracked.oracle.snapshot_count(&inside, t) as f64,
+                QueryKind::Transient(x, z) => tracked.oracle.transient_count(&inside, x, z) as f64,
+                QueryKind::Static(x, z) => {
+                    tracked.oracle.static_interval_count(&inside, x, z) as f64
+                }
+            };
+            assert!(
+                a.bracket.contains(truth),
+                "{label} {kind:?} ({:?}): oracle {truth} outside [{}, {}]",
+                a.strategy,
+                a.bracket.lower,
+                a.bracket.upper
+            );
+            assert!(
+                a.bracket.lower <= a.value && a.value <= a.bracket.upper,
+                "{label} {kind:?}: point estimate {} escapes its own bracket",
+                a.value
+            );
+            o.sound += 1;
+            cov_sum += a.bracket.coverage;
+            conf_sum += a.confidence;
+            match a.strategy {
+                DegradedStrategy::Demoted => o.strategies[0] += 1,
+                DegradedStrategy::MultiFaceDetour => o.strategies[1] += 1,
+                DegradedStrategy::Imputation => o.strategies[2] += 1,
+                DegradedStrategy::LearnedFallback => o.strategies[3] += 1,
+                DegradedStrategy::None => {}
+            }
+            if a.bracket.width().is_finite() {
+                width_sum += a.bracket.width();
+                o.finite += 1;
+            } else {
+                o.infinite += 1;
+            }
+        }
+    }
+    o.mean_coverage = cov_sum / (o.sound as f64).max(1.0);
+    o.mean_confidence = conf_sum / (o.sound as f64).max(1.0);
+    o.mean_width = width_sum / (o.finite as f64).max(1.0);
+    o
+}
+
 fn sweep_cell(
     s: &Scenario,
     g: &SampledGraph,
@@ -210,6 +339,13 @@ fn sweep_cell(
         answer_all(s, &demoted, &tracked, queries, "demoted");
     let (r_sound, r_misses, _, r_cov_sum, _, _) =
         answer_all(s, &rerouted, &tracked, queries, "rerouted");
+    // Degraded-mode escalation over the same untrusted set: the answerer
+    // owns its own demoted/rerouted graphs plus the imputation constraint
+    // system and learned fallback, so every query gets the best certified
+    // bracket the quarantine leaves reachable.
+    let deg =
+        DegradedAnswerer::new(&s.sensing, g, &untrusted, &tracked.store, DegradedPolicy::default());
+    let degraded = answer_degraded(s, &deg, &tracked, queries, "degraded");
     SweepOut {
         dead: dead.len(),
         flagged: blind.report.flagged().len(),
@@ -227,6 +363,90 @@ fn sweep_cell(
         rerouted_sound: r_sound,
         rerouted_misses: r_misses,
         rerouted_mean_coverage: r_cov_sum / (r_sound as f64).max(1.0),
+        degraded,
+    }
+}
+
+/// One mixed-fault cocktail cell: dead + skewed + flipped simultaneously.
+struct CocktailOut {
+    dead: usize,
+    skewed: usize,
+    flipped: usize,
+    untrusted: usize,
+    base_sound: usize,
+    base_misses: usize,
+    base_infinite: usize,
+    base_mean_coverage: f64,
+    base_mean_width: f64,
+    base_finite: usize,
+    degraded: DegradedOut,
+}
+
+/// Serves a compound fault mix (fail-stop deaths announced by heartbeat,
+/// clock skew and direction flips only catchable by the audit) through the
+/// same demote-first pipeline as the dead sweep, then through the degraded
+/// escalation with `impute` on or off. Every bracket on both paths is
+/// asserted sound.
+fn cocktail_cell(
+    s: &Scenario,
+    g: &SampledGraph,
+    seed: u64,
+    queries: &[(QueryRegion, f64, f64)],
+    impute: bool,
+) -> CocktailOut {
+    let horizon = (0.0, s.config.trajectory.duration);
+    // Flips and skews spray conservation blame over whole component
+    // boundaries, so those fractions dominate how much of the network the
+    // audit ends up distrusting; keep them low enough that the cocktail
+    // measures degraded answering rather than a total blackout.
+    let mix = SensorFaultMix { dead: 0.08, skewed: 0.01, flipped: 0.005, ..SensorFaultMix::none() };
+    let plan = SensorFaultPlan::generate(seed ^ 0xC0C7, &monitored_edges(g), horizon, mix);
+    let dead = plan.dead_edges();
+    let mut tracked = ingest_with_faults(&s.sensing, &s.trajectories, &plan);
+
+    let g_live = g.demote_edges(&s.sensing, &dead);
+    let out = quarantine_and_repair(
+        &s.sensing,
+        &g_live,
+        &mut tracked.store,
+        horizon,
+        &RepairConfig::default(),
+    );
+    let silence = |e: usize| {
+        out.report.verdict(e).is_some_and(|v| {
+            v.evidence
+                .iter()
+                .all(|ev| matches!(ev, Evidence::SilentGap { .. } | Evidence::SilentSibling { .. }))
+        })
+    };
+    let mut untrusted: Vec<usize> = dead
+        .iter()
+        .copied()
+        .chain(out.quarantined.iter().copied().filter(|&e| !silence(e)))
+        .chain(out.repaired.iter().map(|r| r.edge))
+        .collect();
+    untrusted.sort_unstable();
+    untrusted.dedup();
+
+    let demoted = g.demote_edges(&s.sensing, &untrusted);
+    let (b_sound, b_misses, b_infinite, b_cov, b_width, b_finite) =
+        answer_all(s, &demoted, &tracked, queries, "cocktail-demoted");
+    let policy = DegradedPolicy { impute, ..DegradedPolicy::default() };
+    let deg = DegradedAnswerer::new(&s.sensing, g, &untrusted, &tracked.store, policy);
+    let label = if impute { "cocktail-degraded" } else { "cocktail-no-impute" };
+    let degraded = answer_degraded(s, &deg, &tracked, queries, label);
+    CocktailOut {
+        dead: dead.len(),
+        skewed: plan.edges_of(stq_net::SensorFaultKind::Skewed).len(),
+        flipped: plan.edges_of(stq_net::SensorFaultKind::Flipped).len(),
+        untrusted: untrusted.len(),
+        base_sound: b_sound,
+        base_misses: b_misses,
+        base_infinite: b_infinite,
+        base_mean_coverage: b_cov / (b_sound as f64).max(1.0),
+        base_mean_width: b_width / (b_finite as f64).max(1.0),
+        base_finite: b_finite,
+        degraded,
     }
 }
 
@@ -365,6 +585,7 @@ fn main() {
 
     let mut json_sweep = String::new();
     let mut json_repair = String::new();
+    let mut json_cocktail = String::new();
     let mut total_sound = 0usize;
     let mut total_asked = 0usize;
     let mut total_isolated_exact = 0usize;
@@ -374,8 +595,13 @@ fn main() {
         let queries = scenario.make_queries(regions, 0.06, 2_000.0, seed ^ 0x9E);
         for &frac in &fracs {
             let o = sweep_cell(&scenario, &sampled, frac, seed, &queries);
-            total_sound += o.sound + o.rerouted_sound;
-            total_asked += o.sound + o.misses + o.rerouted_sound + o.rerouted_misses;
+            total_sound += o.sound + o.rerouted_sound + o.degraded.sound;
+            total_asked += o.sound
+                + o.misses
+                + o.rerouted_sound
+                + o.rerouted_misses
+                + o.degraded.sound
+                + o.degraded.misses;
             println!(
                 "{:>6} | {:>5.2} | {:>5} | {:>5} | {:>5} | {:>6.3} | {:>5}/{:<5} | {:>6} | {:>7.3} | {:>4}/{:>4}/{:>4} | {:>7} | {:>7.3}",
                 seed,
@@ -394,15 +620,27 @@ fn main() {
                 o.rerouted_sound,
                 o.rerouted_mean_coverage
             );
+            println!(
+                "{:>6} | degraded: {}/{} sound, cover {:.3}, \
+                 strategies demoted/detour/imputed/learned {}/{}/{}/{}",
+                seed,
+                o.degraded.sound,
+                o.queries,
+                o.degraded.mean_coverage,
+                o.degraded.strategies[0],
+                o.degraded.strategies[1],
+                o.degraded.strategies[2],
+                o.degraded.strategies[3]
+            );
             let _ = write!(
                 json_sweep,
                 "{}    {{\"seed\": {}, \"dead_frac\": {}, \"dead\": {}, \"flagged\": {}, \
                  \"silence_only\": {}, \"recall\": {:.4}, \"queries\": {}, \"sound\": {}, \
                  \"misses\": {}, \
-                 \"infinite_brackets\": {}, \"mean_coverage\": {:.4}, \"mean_width\": {:.3}, \
+                 \"infinite_brackets\": {}, \"mean_coverage\": {:.4}, \"mean_width\": {}, \
                  \"components\": {{\"before\": {}, \"demoted\": {}, \"rerouted\": {}}}, \
                  \"rerouted_sound\": {}, \"rerouted_misses\": {}, \
-                 \"rerouted_mean_coverage\": {:.4}}}",
+                 \"rerouted_mean_coverage\": {:.4}, \"degraded\": {}}}",
                 if json_sweep.is_empty() { "" } else { ",\n" },
                 seed,
                 frac,
@@ -415,13 +653,63 @@ fn main() {
                 o.misses,
                 o.infinite,
                 o.mean_coverage,
-                o.mean_width,
+                width_json(o.sound - o.infinite, o.mean_width),
                 o.components_before,
                 o.components_demoted,
                 o.components_rerouted,
                 o.rerouted_sound,
                 o.rerouted_misses,
-                o.rerouted_mean_coverage
+                o.rerouted_mean_coverage,
+                o.degraded.json()
+            );
+        }
+
+        // Mixed cocktail: the same compound mix served with and without
+        // imputation — the delta between the two cells is the measured
+        // value of conservation-residual imputation under compound faults.
+        for impute in [true, false] {
+            let c = cocktail_cell(&scenario, &sampled, seed, &queries, impute);
+            total_sound += c.base_sound + c.degraded.sound;
+            total_asked += c.base_sound + c.base_misses + c.degraded.sound + c.degraded.misses;
+            println!(
+                "{seed:>6} | cocktail (impute {}): {} dead + {} skewed + {} flipped \
+                 ({} untrusted); base {}/{} cover {:.3}; degraded {}/{} cover {:.3} \
+                 strategies {}/{}/{}/{}",
+                if impute { "on" } else { "off" },
+                c.dead,
+                c.skewed,
+                c.flipped,
+                c.untrusted,
+                c.base_sound,
+                c.base_sound + c.base_misses,
+                c.base_mean_coverage,
+                c.degraded.sound,
+                c.degraded.sound + c.degraded.misses,
+                c.degraded.mean_coverage,
+                c.degraded.strategies[0],
+                c.degraded.strategies[1],
+                c.degraded.strategies[2],
+                c.degraded.strategies[3]
+            );
+            let _ = write!(
+                json_cocktail,
+                "{}    {{\"seed\": {}, \"impute\": {}, \"dead\": {}, \"skewed\": {}, \
+                 \"flipped\": {}, \"untrusted\": {}, \"base\": {{\"sound\": {}, \
+                 \"misses\": {}, \"infinite_brackets\": {}, \"mean_coverage\": {:.4}, \
+                 \"mean_width\": {}}}, \"degraded\": {}}}",
+                if json_cocktail.is_empty() { "" } else { ",\n" },
+                seed,
+                impute,
+                c.dead,
+                c.skewed,
+                c.flipped,
+                c.untrusted,
+                c.base_sound,
+                c.base_misses,
+                c.base_infinite,
+                c.base_mean_coverage,
+                width_json(c.base_finite, c.base_mean_width),
+                c.degraded.json()
             );
         }
 
@@ -476,8 +764,16 @@ fn main() {
         "{{\n  \"bench\": \"sensor_failure_sweep\",\n  \"quick\": {},\n  \"scenario\": \
          {{\"junctions\": {}, \"objects\": {}, \"seeds\": {:?}}},\n  \"soundness\": \
          {{\"sound\": {}, \"asked\": {}}},\n  \"dead_sweep\": [\n{}\n  ],\n  \
-         \"exact_repair\": [\n{}\n  ]\n}}\n",
-        quick, junctions, objects, seeds, total_sound, total_asked, json_sweep, json_repair
+         \"mixed_cocktail\": [\n{}\n  ],\n  \"exact_repair\": [\n{}\n  ]\n}}\n",
+        quick,
+        junctions,
+        objects,
+        seeds,
+        total_sound,
+        total_asked,
+        json_sweep,
+        json_cocktail,
+        json_repair
     );
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write("results/BENCH_sensors.json", &json).expect("write BENCH_sensors.json");

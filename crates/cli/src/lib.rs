@@ -126,7 +126,8 @@ COMMANDS:
                                                 --chaos-seed S + sensor-fault flags
                                                 --wal-dir DIR --snapshot-every N
                                                 --sync-every N --ingest N --kill SHARD:SEQ
-                                                --subscribe N --subscribe-area F]
+                                                --subscribe N --subscribe-area F
+                                                --impute 0|1]
   recover    rebuild shard state from disk     [--wal-dir DIR --snapshot-every N
                                                 --sync-every N + deployment flags]
   audit      corrupt sensors, audit + repair   [--dead F --lossy F --dup-sensors F
@@ -137,6 +138,8 @@ chaos: one root seed drives message, sensor, and durability faults;
   conflicting or repeated seed flags are rejected
 sensor-fault flags (fractions of monitored links): --dead F --lossy F
   --dup-sensors F --flip F --skew F; serve quarantines what the audit flags
+  --impute 1 answers through quarantine via detours, conservation-residual
+  imputation and learned fallback instead of worst-case widening
 methods: uniform|systematic|stratified|kdtree|quadtree";
 
 fn scenario_from(args: &Args) -> Result<Scenario, CliError> {
@@ -460,6 +463,19 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
             if !(0.0..=1.0).contains(&subscribe_area) {
                 return Err(CliError::Usage("--subscribe-area must be in [0, 1]".into()));
             }
+            // Degraded-mode answering is opt-in: it trades the default
+            // worst-case widening on quarantined boundaries for detour /
+            // imputation / learned-fallback answers with honest brackets.
+            let impute = match args.get::<u8>("impute", 0)? {
+                0 => false,
+                1 => true,
+                _ => return Err(CliError::Usage("--impute must be 0 or 1".into())),
+            };
+            if impute && chaos.sensor_mix.total() == 0.0 {
+                return Err(CliError::Usage(
+                    "--impute answers through quarantine and needs sensor-fault flags".into(),
+                ));
+            }
             let cfg = RuntimeConfig {
                 num_shards: shards,
                 dispatchers,
@@ -467,6 +483,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 max_retries: args.get("retries", 2)?,
                 fault: chaos.message.clone(),
                 durability,
+                degraded: impute.then(DegradedPolicy::default),
                 ..RuntimeConfig::default()
             };
             let s = scenario_from(args)?;
@@ -510,6 +527,18 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     "standing: registered {} subscriptions ({unresolvable} unresolvable)",
                     handles.len()
                 )?;
+                // Imputation can certify flow intervals on quarantined
+                // links before any live event arrives, tightening every
+                // standing bracket at once (still containing the truth).
+                if impute && !handles.is_empty() {
+                    let certified = rt.certify_standing_brackets(1.0e12);
+                    if certified > 0 {
+                        writeln!(
+                            out,
+                            "standing: imputation certified {certified} quarantined links"
+                        )?;
+                    }
+                }
             }
             // Live ingestion: stream synthetic post-horizon crossings over
             // the monitored links, WAL-logging each when --wal-dir is set
@@ -577,24 +606,29 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
             let pending: Vec<_> = specs.into_iter().map(|spec| rt.submit(spec)).collect();
             for (i, p) in pending.into_iter().enumerate() {
                 let a = p.wait();
+                // Degraded strategies print which rung of the escalation
+                // answered (and how much structural coverage certified it);
+                // classic worst-case degradation keeps the bare tag.
+                let tag = if a.miss {
+                    "  MISS".to_string()
+                } else if a.strategy != DegradedStrategy::None {
+                    format!("  {} conf {:.2}", a.strategy.label().to_uppercase(), a.confidence)
+                } else if a.quarantined > 0 {
+                    "  QUARANTINED".to_string()
+                } else if a.degraded {
+                    "  DEGRADED".to_string()
+                } else {
+                    String::new()
+                };
                 writeln!(
                     out,
-                    "{i:>3} | {:>10.1} | {:>10.1} | {:>10.1} | {:>6.2} | {:>5} | {:>8}{}",
+                    "{i:>3} | {:>10.1} | {:>10.1} | {:>10.1} | {:>6.2} | {:>5} | {:>8}{tag}",
                     a.value,
                     a.lower,
                     a.upper,
                     a.coverage,
                     a.retries,
                     a.latency.as_micros(),
-                    if a.miss {
-                        "  MISS"
-                    } else if a.quarantined > 0 {
-                        "  QUARANTINED"
-                    } else if a.degraded {
-                        "  DEGRADED"
-                    } else {
-                        ""
-                    }
                 )?;
             }
             writeln!(out, "{}", rt.metrics().report())?;
@@ -941,6 +975,45 @@ mod tests {
         ]);
         assert!(out.contains("sensor faults:"), "{out}");
         assert!(out.contains("quarantined"), "{out}");
+    }
+
+    #[test]
+    fn serve_with_impute_reports_degraded_strategies() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--queries",
+            "8",
+            "--area",
+            "0.15",
+            "--shards",
+            "2",
+            "--dead",
+            "0.25",
+            "--fault-seed",
+            "5",
+            "--impute",
+            "1",
+            "--subscribe",
+            "4",
+        ]);
+        assert!(out.contains("sensor faults:"), "{out}");
+        assert!(out.contains("degraded-mode:"), "metrics must report strategies:\n{out}");
+        assert!(out.contains("quarantined edges"), "{out}");
+    }
+
+    #[test]
+    fn serve_impute_needs_sensor_faults() {
+        let args = Args::parse(["serve", "--impute", "1"].map(String::from)).unwrap();
+        let err = run(&args, &mut Vec::new()).expect_err("--impute without faults is a refusal");
+        assert!(err.to_string().contains("sensor-fault"), "{err}");
+        let args = Args::parse(["serve", "--impute", "2", "--dead", "0.1"].map(String::from));
+        assert!(run(&args.unwrap(), &mut Vec::new()).is_err(), "--impute takes 0|1");
     }
 
     #[test]

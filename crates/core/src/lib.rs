@@ -45,8 +45,10 @@
 
 pub mod abstracted;
 pub mod cost;
+pub mod degraded;
 pub mod engine;
 pub mod geometric;
+pub mod impute;
 pub mod learned_store;
 pub mod query;
 pub mod render;
@@ -57,7 +59,9 @@ pub mod sensing;
 pub mod streaming;
 pub mod tracker;
 
+pub use degraded::{DegradedAnswer, DegradedAnswerer, DegradedPolicy, DegradedStrategy};
 pub use engine::{EngineStats, PlanId, QueryEngine, QueryPlan};
+pub use impute::{ImputedInterval, Imputer};
 pub use learned_store::LearnedStore;
 pub use query::{
     answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,
@@ -74,8 +78,10 @@ pub use tracker::{crossings_of, ingest, ingest_with_faults, Crossing, Tracked};
 pub mod prelude {
     pub use crate::abstracted::AbstractTopology;
     pub use crate::cost::{measure_costs, CostModel};
+    pub use crate::degraded::{DegradedAnswer, DegradedAnswerer, DegradedPolicy, DegradedStrategy};
     pub use crate::engine::{EngineStats, PlanId, QueryEngine, QueryPlan};
     pub use crate::geometric::Subdivision;
+    pub use crate::impute::{ImputedInterval, Imputer};
     pub use crate::learned_store::LearnedStore;
     pub use crate::query::{
         answer, ground_truth, relative_error, Approximation, QueryKind, QueryOutcome, QueryRegion,

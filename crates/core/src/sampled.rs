@@ -17,7 +17,7 @@ use crate::sensing::SensingGraph;
 use stq_geom::triangulate;
 use stq_planar::dual::subgraph_faces;
 use stq_planar::embedding::{FaceId, VertexId};
-use stq_planar::paths::dijkstra;
+use stq_planar::paths::{bfs_hops, dijkstra};
 use stq_spatial::KdTree;
 use stq_submod::{cost_benefit_greedy, partition_atoms, AtomObjective};
 
@@ -270,16 +270,48 @@ impl SampledGraph {
 
     /// Failover patch: for each dead monitored edge, re-route the monitoring
     /// duty along the cheapest live detour between the edge's two dual
-    /// faces, then drop the dead edges. This restores face granularity
-    /// around failures without rebuilding the whole sampled graph; edges in
-    /// `dead` are never selected again.
+    /// faces, escalating to multi-face detours (up to 3 dual rings) when no
+    /// single-ring cycle survives. See [`Self::reroute_around_multi`].
     pub fn reroute_around(&self, sensing: &SensingGraph, dead: &[usize]) -> SampledGraph {
+        self.reroute_around_multi(sensing, dead, 3)
+    }
+
+    /// Multi-face failover patch. For each dead monitored edge with dual
+    /// faces `(f, g)`:
+    ///
+    /// 1. **Ring 1** — the cheapest live dual path `f → g` (the classic
+    ///    detour cycle around the dead edge).
+    /// 2. **Rings 2..=`max_ring`** — when no single-ring detour survives
+    ///    (the neighbourhood itself is riddled with failures), search for the
+    ///    cheapest live path between *any* pair of faces within `r` dual
+    ///    hops of `f` and of `g`. Monitoring that path still cuts the merged
+    ///    region apart — just along a wider cycle that skirts the dead zone.
+    ///
+    /// Every edge the detour monitors is live, so the patch only ever
+    /// *refines* the face partition (monitoring is monotone in granularity)
+    /// and never integrates corrupted data. Detours through outside faces
+    /// (≥ 1e9 penalty weights) would monitor ramps; such cuts stay open —
+    /// demotion keeps the answers sound, just coarser. Edges in `dead` are
+    /// never selected again.
+    pub fn reroute_around_multi(
+        &self,
+        sensing: &SensingGraph,
+        dead: &[usize],
+        max_ring: usize,
+    ) -> SampledGraph {
         let dead_set: HashSet<usize> = dead.iter().copied().collect();
         // Live-only dual adjacency: dead sensing links cannot carry duty.
         let adj: stq_planar::paths::WeightedAdj = sensing
             .dual_adjacency()
             .iter()
             .map(|nbrs| nbrs.iter().copied().filter(|&(_, e, _)| !dead_set.contains(&e)).collect())
+            .collect();
+        // Unweighted *full* dual adjacency (dead edges included): rings are
+        // topological neighbourhoods of the failure, not live reachability.
+        let hops_adj: Vec<Vec<usize>> = sensing
+            .dual_adjacency()
+            .iter()
+            .map(|n| n.iter().map(|&(v, _, _)| v).collect())
             .collect();
         let mut monitored = self.monitored.clone();
         for &e in dead {
@@ -289,14 +321,46 @@ impl SampledGraph {
             monitored[e] = false;
             let (f, g) = sensing.dual().edge_faces[e];
             let sp = dijkstra(&adj, f);
-            // Detours through outside faces (≥ 1e9 penalty weights) would
-            // monitor ramps; leave such cuts open instead — demotion keeps
-            // the answers sound, just coarser.
             if sp.dist[g] < 1e9 {
                 if let Some((_, edges)) = sp.path_to(g) {
                     for pe in edges {
                         monitored[pe] = true;
                     }
+                }
+                continue;
+            }
+            if max_ring < 2 {
+                continue;
+            }
+            // Ring escalation: cheapest live path between the two widening
+            // neighbourhoods of the dead edge's endpoints.
+            let from_f = bfs_hops(&hops_adj, f);
+            let from_g = bfs_hops(&hops_adj, g);
+            'rings: for r in 2..=max_ring {
+                let near_f: Vec<usize> =
+                    (0..hops_adj.len()).filter(|&x| from_f[x] <= r && x != g).collect();
+                let near_g: HashSet<usize> =
+                    (0..hops_adj.len()).filter(|&x| from_g[x] <= r && x != f).collect();
+                let mut best: Option<(f64, usize, usize)> = None;
+                for &fp in &near_f {
+                    let sp = dijkstra(&adj, fp);
+                    for &gp in &near_g {
+                        if gp != fp
+                            && sp.dist[gp] < 1e9
+                            && sp.dist[gp] < best.map_or(f64::INFINITY, |(d, _, _)| d)
+                        {
+                            best = Some((sp.dist[gp], fp, gp));
+                        }
+                    }
+                }
+                if let Some((_, fp, gp)) = best {
+                    let sp = dijkstra(&adj, fp);
+                    if let Some((_, edges)) = sp.path_to(gp) {
+                        for pe in edges {
+                            monitored[pe] = true;
+                        }
+                    }
+                    break 'rings;
                 }
             }
         }
@@ -408,6 +472,29 @@ mod tests {
         let g_small = sampled(&s, 0.05, Connectivity::Triangulation);
         let g_large = sampled(&s, 0.4, Connectivity::Triangulation);
         assert!(g_large.components().len() > g_small.components().len());
+    }
+
+    #[test]
+    fn multi_ring_reroute_survives_a_dead_neighbourhood() {
+        let s = sensing();
+        let g = sampled(&s, 0.25, Connectivity::Triangulation);
+        // Kill one monitored edge plus every dual link around one of its
+        // endpoint faces: no single-ring detour can survive, so ring-1
+        // rerouting restores nothing around this failure.
+        let e = g.monitored().iter().position(|&m| m).unwrap();
+        let (f, _) = s.dual().edge_faces[e];
+        let mut dead: Vec<usize> = s.dual_adjacency()[f].iter().map(|&(_, de, _)| de).collect();
+        dead.push(e);
+        dead.sort_unstable();
+        dead.dedup();
+        let single = g.reroute_around_multi(&s, &dead, 1);
+        let multi = g.reroute_around_multi(&s, &dead, 3);
+        for &de in &dead {
+            assert!(!multi.monitored()[de], "dead edges stay unmonitored");
+        }
+        // Wider rings may only add live cuts: granularity is monotone.
+        assert!(multi.num_monitored_edges() >= single.num_monitored_edges());
+        assert!(multi.components().len() >= single.components().len());
     }
 
     #[test]

@@ -201,4 +201,43 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&b.coverage));
         }
     }
+
+    /// Audit→repair is idempotent: a second cycle on the already-repaired
+    /// store and demoted graph rewrites nothing — un-flip / de-dup applied
+    /// twice is byte-identical to once. Without this, every re-audit (e.g.
+    /// on recovery or epoch advance) would walk repaired logs further away
+    /// from the truth.
+    #[test]
+    fn repair_cycles_are_idempotent(s in small_scenario(),
+                                    flip in 0.05f64..0.25,
+                                    dup in 0.05f64..0.25,
+                                    seed in 0u64..100) {
+        use stq_net::SensorFaultMix;
+        let cands = s.sensing.sensor_candidates();
+        let m = (cands.len() / 4).max(3);
+        let ids = stq_sampling::sample(stq_sampling::SamplingMethod::Uniform, &cands, m, seed);
+        let faces: Vec<usize> = ids.into_iter().map(|x| x as usize).collect();
+        let g = SampledGraph::from_sensors(&s.sensing, &faces, Connectivity::Triangulation);
+
+        let monitored: Vec<usize> = g.monitored().iter().enumerate()
+            .filter(|&(_, &on)| on).map(|(e, _)| e).collect();
+        let mix = SensorFaultMix { flipped: flip, duplicating: dup, ..SensorFaultMix::none() };
+        let plan = SensorFaultPlan::generate(seed ^ 0x1de, &monitored, (0.0, 1_500.0), mix);
+        let mut tracked = ingest_with_faults(&s.sensing, &s.trajectories, &plan);
+
+        let first = quarantine_and_repair(&s.sensing, &g, &mut tracked.store,
+                                          (0.0, 1_500.0), &RepairConfig::default());
+        let once = tracked.store.clone();
+        let second = quarantine_and_repair(&s.sensing, &first.graph, &mut tracked.store,
+                                           (0.0, 1_500.0), &RepairConfig::default());
+        prop_assert!(second.repaired.is_empty(),
+            "second cycle rewrote {} logs on an already-repaired graph",
+            second.repaired.len());
+        for e in 0..once.num_edges() {
+            prop_assert_eq!(once.form(e).timestamps(true), tracked.store.form(e).timestamps(true),
+                "edge {} forward log changed on the second cycle", e);
+            prop_assert_eq!(once.form(e).timestamps(false), tracked.store.form(e).timestamps(false),
+                "edge {} backward log changed on the second cycle", e);
+        }
+    }
 }

@@ -37,6 +37,9 @@ pub struct QueryTrace {
     pub degraded: bool,
     /// Whether the sampled graph could not cover the region at all.
     pub miss: bool,
+    /// Degraded-mode strategy label (`"none"` when the ordinary path
+    /// answered; see `stq_core::DegradedStrategy::label`).
+    pub strategy: &'static str,
 }
 
 /// One standing-subscription lifecycle event, as remembered by the
@@ -119,6 +122,19 @@ pub struct Metrics {
     pub misses: AtomicU64,
     /// Queries answered from partial shard data.
     pub degraded: AtomicU64,
+    /// Gauge: boundary edges the integrity auditor quarantined at startup.
+    pub quarantined_edges: AtomicU64,
+    /// Degraded answers where plain demotion already resolved best.
+    pub degraded_demoted: AtomicU64,
+    /// Degraded answers won by the multi-face detour graph.
+    pub degraded_detour: AtomicU64,
+    /// Degraded answers certified by conservation-interval imputation.
+    pub degraded_imputed: AtomicU64,
+    /// Degraded answers that fell back to a learned point estimate.
+    pub degraded_learned: AtomicU64,
+    /// Bracket widths of degraded-mode answers (absolute counts, log₂
+    /// buckets) — the "how honest was the widening" histogram.
+    pub degraded_width: Histogram,
     /// Shard requests sent (fan-out messages, including retries).
     pub shard_requests: AtomicU64,
     /// Requests a shard handled successfully.
@@ -257,6 +273,12 @@ impl Metrics {
             queries: load(&self.queries),
             misses: load(&self.misses),
             degraded: load(&self.degraded),
+            quarantined_edges: load(&self.quarantined_edges),
+            degraded_demoted: load(&self.degraded_demoted),
+            degraded_detour: load(&self.degraded_detour),
+            degraded_imputed: load(&self.degraded_imputed),
+            degraded_learned: load(&self.degraded_learned),
+            degraded_width_p95: self.degraded_width.quantile_us(0.95),
             shard_requests: load(&self.shard_requests),
             shard_served: load(&self.shard_served),
             dropped: load(&self.dropped),
@@ -305,6 +327,18 @@ pub struct MetricsReport {
     pub misses: u64,
     /// See [`Metrics::degraded`].
     pub degraded: u64,
+    /// See [`Metrics::quarantined_edges`] (gauge at snapshot time).
+    pub quarantined_edges: u64,
+    /// See [`Metrics::degraded_demoted`].
+    pub degraded_demoted: u64,
+    /// See [`Metrics::degraded_detour`].
+    pub degraded_detour: u64,
+    /// See [`Metrics::degraded_imputed`].
+    pub degraded_imputed: u64,
+    /// See [`Metrics::degraded_learned`].
+    pub degraded_learned: u64,
+    /// 95th-percentile degraded-answer bracket width bucket edge (counts).
+    pub degraded_width_p95: u64,
     /// See [`Metrics::shard_requests`].
     pub shard_requests: u64,
     /// See [`Metrics::shard_served`].
@@ -398,6 +432,17 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "degraded-mode: quarantined edges {}, demoted {}, detour {}, imputed {}, learned {}, \
+             width p95 {}",
+            self.quarantined_edges,
+            self.degraded_demoted,
+            self.degraded_detour,
+            self.degraded_imputed,
+            self.degraded_learned,
+            self.degraded_width_p95
+        )?;
+        writeln!(
+            f,
             "durability: ingested {}, wal appends {}, snapshots {}",
             self.ingested, self.wal_appends, self.snapshots_taken
         )?;
@@ -475,6 +520,7 @@ mod tests {
                 plan_cache_hit: false,
                 degraded: false,
                 miss: false,
+                strategy: "none",
             });
         }
         let traces = m.recent_traces();
@@ -523,6 +569,7 @@ mod tests {
             plan_cache_hit: id % 2 == 0,
             degraded: false,
             miss: false,
+            strategy: "none",
         };
         let m = Metrics::new();
         for i in 0..TRACE_CAP as u64 {
@@ -622,6 +669,30 @@ mod tests {
         assert_eq!(traces.len(), TRACE_CAP);
         assert_eq!(traces[0].subscription, 10, "oldest entries evicted first");
         assert_eq!(traces.last().unwrap().cause, "registered");
+    }
+
+    #[test]
+    fn degraded_mode_counters_round_trip_report() {
+        let m = Metrics::new();
+        m.quarantined_edges.store(14, Ordering::Relaxed);
+        Metrics::bump(&m.degraded_demoted);
+        Metrics::add(&m.degraded_detour, 2);
+        Metrics::add(&m.degraded_imputed, 5);
+        Metrics::bump(&m.degraded_learned);
+        m.degraded_width.record(6);
+        let r = m.report();
+        assert_eq!(r.quarantined_edges, 14);
+        assert_eq!(r.degraded_demoted, 1);
+        assert_eq!(r.degraded_detour, 2);
+        assert_eq!(r.degraded_imputed, 5);
+        assert_eq!(r.degraded_learned, 1);
+        assert!(r.degraded_width_p95 >= 6);
+        let text = r.to_string();
+        assert!(text.contains("quarantined edges 14"));
+        assert!(text.contains("imputed 5"));
+        // Pre-existing lines keep their shape (additive change only).
+        assert!(text.contains("latency p50"));
+        assert!(text.contains("queries 0"));
     }
 
     #[test]

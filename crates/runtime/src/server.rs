@@ -36,13 +36,14 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
+use stq_core::degraded::{DegradedAnswer, DegradedAnswerer, DegradedPolicy, DegradedStrategy};
 use stq_core::engine::QueryEngine;
 use stq_core::query::{Approximation, QueryKind, QueryRegion};
 use stq_core::sampled::SampledGraph;
@@ -121,6 +122,15 @@ pub struct RuntimeConfig {
     /// caching: every query re-resolves its region and re-walks the
     /// boundary). Invalidated wholesale on supervisor-driven recovery.
     pub plan_cache: usize,
+    /// Degraded-mode answering over the quarantined deployment (multi-face
+    /// detours → conservation-interval imputation → learned fallback; see
+    /// `stq_core::degraded`). `None` (the default) keeps the classic
+    /// worst-case-totals degradation, which stays **bitwise identical** to
+    /// the standing-subscription fold — turning this on trades that
+    /// equivalence for far tighter brackets on quarantine-degraded answers.
+    /// Only consulted while no event has been ingested since startup: the
+    /// certified brackets are computed against the construction-time store.
+    pub degraded: Option<DegradedPolicy>,
 }
 
 impl Default for RuntimeConfig {
@@ -135,6 +145,7 @@ impl Default for RuntimeConfig {
             panic_threshold: 3,
             durability: None,
             plan_cache: 256,
+            degraded: None,
         }
     }
 }
@@ -177,6 +188,15 @@ pub struct ServedAnswer {
     pub shards: usize,
     /// Retry rounds that were needed.
     pub retries: u32,
+    /// Which degraded-mode repair strategy produced the final bracket
+    /// ([`DegradedStrategy::None`] whenever the ordinary shard fold
+    /// answered — including classic worst-case degradation with
+    /// [`RuntimeConfig::degraded`] unset).
+    pub strategy: DegradedStrategy,
+    /// Confidence in `[0, 1]`: the boundary-report fraction for ordinary
+    /// answers, the certifying strategy's structural coverage for
+    /// degraded-mode answers (halved for learned fallbacks).
+    pub confidence: f64,
     /// Whether the query's plan was served from the engine's cache (false
     /// for misses compiled on demand — and always false right after a
     /// recovery-driven invalidation).
@@ -244,6 +264,17 @@ struct ServerState {
     /// Standing-query registry: every ingested event routes through it
     /// (delta-push), and the supervisor re-snapshots it on every recovery.
     subs: Arc<SubscriptionRegistry>,
+    /// Degraded-mode answering over the quarantined deployment (built only
+    /// when [`RuntimeConfig::degraded`] is set and something is
+    /// quarantined).
+    degraded: Option<DegradedAnswerer>,
+    /// Construction-time store snapshot the degraded answerer certifies
+    /// its brackets against.
+    deg_store: Option<FormStore>,
+    /// Flipped by the first `ingest` after startup: the snapshot-certified
+    /// brackets no longer describe the live store, so degraded-mode
+    /// consults stop.
+    deg_dirty: AtomicBool,
 }
 
 /// A running sharded query server over one deployment.
@@ -286,6 +317,14 @@ impl Runtime {
         assert!(cfg.num_shards >= 1, "need at least one shard");
         assert!(cfg.dispatchers >= 1, "need at least one dispatcher");
         let metrics = Arc::new(Metrics::new());
+        metrics.quarantined_edges.store(quarantined.len() as u64, Ordering::Relaxed);
+        let (degraded, deg_store) = match cfg.degraded {
+            Some(policy) if !quarantined.is_empty() => (
+                Some(DegradedAnswerer::new(&sensing, &sampled, quarantined, store, policy)),
+                Some(store.clone()),
+            ),
+            _ => (None, None),
+        };
 
         let ns = cfg.num_shards;
         let mut parts: Vec<HashMap<usize, TrackingForm>> =
@@ -356,6 +395,9 @@ impl Runtime {
             metrics: Arc::clone(&metrics),
             engine,
             subs,
+            degraded,
+            deg_store,
+            deg_dirty: AtomicBool::new(false),
         });
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
         let mut dispatcher_threads = Vec::with_capacity(cfg.dispatchers);
@@ -485,6 +527,34 @@ impl Runtime {
         epoch
     }
 
+    /// Certifies quarantined-edge flow intervals into the subscription
+    /// registry from the degraded-mode imputer, then re-snapshots so every
+    /// standing bracket tightens at once. `t` must be at or past the last
+    /// event time so net-flow-at-`t` equals the lifetime net flow the
+    /// registry folds. Returns how many edges were certified; 0 when
+    /// degraded mode is off, the imputer found no finite interval, or an
+    /// event has been ingested since the answerer was built (certificates
+    /// would no longer be anchored to the mirrored counts).
+    pub fn certify_standing_brackets(&self, t: f64) -> usize {
+        let st = self.state.as_ref().expect("runtime is running");
+        let Some(deg) = st.degraded.as_ref() else { return 0 };
+        let Some(imp) = deg.imputer() else { return 0 };
+        let Some(store) = st.deg_store.as_ref() else { return 0 };
+        if st.deg_dirty.load(Ordering::Acquire) {
+            return 0;
+        }
+        let mut installed = 0usize;
+        for (edge, iv) in imp.intervals_at(store, t) {
+            if iv.is_finite() && st.subs.certify_quarantined(edge, iv.lo, iv.hi) {
+                installed += 1;
+            }
+        }
+        if installed > 0 {
+            self.resnapshot_subscriptions();
+        }
+        installed
+    }
+
     /// Streams one boundary-crossing event into the owning shard. The event
     /// is sequence-stamped, retained in the redo buffer until the shard
     /// acknowledges durability, and folded into the shard's forms (and WAL)
@@ -498,6 +568,9 @@ impl Runtime {
         let st = self.state.as_ref().expect("runtime is running");
         assert!(c.edge < st.totals.len(), "ingest for unknown edge {}", c.edge);
         assert!(c.time.is_finite(), "crossing time must be finite");
+        // The degraded answerer's brackets are certified against the
+        // construction-time store; any new event invalidates them.
+        st.deg_dirty.store(true, Ordering::Release);
         let shard = c.edge % st.cfg.num_shards;
         // Routes the event through the registry: bumps the lifetime totals
         // (inside the registry lock) and delta-pushes affected brackets.
@@ -627,6 +700,19 @@ fn serve(st: &ServerState, job: Job) {
     if answer.degraded {
         Metrics::bump(&m.degraded);
     }
+    match answer.strategy {
+        DegradedStrategy::None => {}
+        DegradedStrategy::Demoted => Metrics::bump(&m.degraded_demoted),
+        DegradedStrategy::MultiFaceDetour => Metrics::bump(&m.degraded_detour),
+        DegradedStrategy::Imputation => Metrics::bump(&m.degraded_imputed),
+        DegradedStrategy::LearnedFallback => Metrics::bump(&m.degraded_learned),
+    }
+    if answer.strategy != DegradedStrategy::None {
+        let width = answer.upper - answer.lower;
+        if width.is_finite() {
+            m.degraded_width.record(width.round().max(0.0) as u64);
+        }
+    }
     m.trace(QueryTrace {
         query_id: answer.query_id,
         shards: answer.shards,
@@ -637,6 +723,7 @@ fn serve(st: &ServerState, job: Job) {
         plan_cache_hit: answer.plan_cache_hit,
         degraded: answer.degraded,
         miss: answer.miss,
+        strategy: answer.strategy.label(),
     });
     // The client may have given up on the PendingAnswer; that's fine.
     let _ = job.reply.send(answer);
@@ -656,6 +743,28 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         &st.metrics.plan_cache_misses
     });
     if plan.miss {
+        // The serving graph cannot cover the region — but the degraded
+        // answerer's detour / imputation machinery may still certify a
+        // bracket on its repaired graphs.
+        if let Some(da) = consult_degraded(st, spec) {
+            return ServedAnswer {
+                query_id: id,
+                value: da.value,
+                lower: da.bracket.lower,
+                upper: da.bracket.upper,
+                coverage: 0.0,
+                miss: false,
+                degraded: true,
+                strategy: da.strategy,
+                confidence: da.confidence,
+                quarantined: 0,
+                shards: 0,
+                retries: 0,
+                plan_cache_hit,
+                plan_latency,
+                latency: start.elapsed(),
+            };
+        }
         return ServedAnswer {
             query_id: id,
             value: 0.0,
@@ -664,6 +773,8 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
             coverage: 0.0,
             miss: true,
             degraded: false,
+            strategy: DegradedStrategy::None,
+            confidence: 0.0,
             quarantined: 0,
             shards: 0,
             retries: 0,
@@ -797,7 +908,7 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         }
     }
     let coverage = if boundary.is_empty() { 1.0 } else { answered as f64 / boundary.len() as f64 };
-    let (value, lower, upper) = match spec.kind {
+    let (mut value, mut lower, mut upper) = match spec.kind {
         QueryKind::Snapshot(_) | QueryKind::Transient(..) => (est_a, lo_a, hi_a),
         // min and max(0, ·) are monotone, so applying them to the endpoint
         // bounds keeps lower ≤ exact ≤ upper.
@@ -805,6 +916,20 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
             (est_a.min(est_b).max(0.0), lo_a.min(lo_b).max(0.0), hi_a.min(hi_b).max(0.0))
         }
     };
+
+    // Quarantine-degraded answers escalate through the repair strategies:
+    // the certified degraded-mode bracket replaces the worst-case-totals
+    // one (whose quarantined-edge terms fold corrupted lifetime counts).
+    let (mut strategy, mut confidence) = (DegradedStrategy::None, coverage);
+    if refused_total > 0 && coverage < 1.0 {
+        if let Some(da) = consult_degraded(st, spec) {
+            value = da.value;
+            lower = da.bracket.lower;
+            upper = da.bracket.upper;
+            strategy = da.strategy;
+            confidence = da.confidence;
+        }
+    }
 
     st.metrics.execute_latency.record(exec_t0.elapsed().as_micros() as u64);
     ServedAnswer {
@@ -815,6 +940,8 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         coverage,
         miss: false,
         degraded: coverage < 1.0,
+        strategy,
+        confidence,
         quarantined: refused_total,
         shards: fanout,
         retries: retries_used,
@@ -822,4 +949,18 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         plan_latency,
         latency: start.elapsed(),
     }
+}
+
+/// The degraded-mode consult gate: an answerer must be configured, no event
+/// may have been ingested since startup (the brackets are certified against
+/// the construction-time store), and the escalation must land on a non-miss
+/// bracket.
+fn consult_degraded(st: &ServerState, spec: &QuerySpec) -> Option<DegradedAnswer> {
+    let deg = st.degraded.as_ref()?;
+    if st.deg_dirty.load(Ordering::Acquire) {
+        return None;
+    }
+    let store = st.deg_store.as_ref()?;
+    let a = deg.answer(&st.sensing, store, &spec.region, spec.kind);
+    (!a.bracket.miss).then_some(a)
 }

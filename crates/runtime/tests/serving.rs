@@ -312,3 +312,89 @@ fn trace_ring_records_recent_queries() {
     assert_eq!(traces.len(), n);
     assert!(traces.iter().all(|t| t.latency_us > 0 || t.miss || t.coverage == 1.0));
 }
+
+#[test]
+fn degraded_mode_escalation_upgrades_quarantined_answers() {
+    // Quarantine every 7th monitored edge and turn the degraded-mode
+    // answerer on: quarantine-degraded answers must escalate past the
+    // worst-case-totals bracket, report which strategy certified them, and
+    // stay sound against the oracle (the certified paths only read healthy
+    // logs, which are clean here).
+    let f = fixture();
+    let quarantined: Vec<usize> = (0..f.scenario.sensing.num_edges())
+        .filter(|&e| f.sampled.monitored()[e])
+        .step_by(7)
+        .collect();
+    let rt = Runtime::with_quarantine(
+        f.scenario.sensing.clone(),
+        f.sampled.clone(),
+        store(f),
+        RuntimeConfig {
+            num_shards: 3,
+            dispatchers: 2,
+            degraded: Some(DegradedPolicy::default()),
+            ..RuntimeConfig::default()
+        },
+        &quarantined,
+    );
+    let all = specs(f, 8, 0.15, 43);
+    let mut upgraded = 0u64;
+    for spec in &all {
+        let served = rt.query(spec.clone());
+        if served.miss {
+            continue;
+        }
+        assert!((0.0..=1.0).contains(&served.confidence));
+        if served.strategy != DegradedStrategy::None {
+            upgraded += 1;
+            assert!(served.degraded, "a degraded strategy implies a degraded answer");
+            let inside = |j: usize| spec.region.junctions.contains(&j);
+            let truth = match spec.kind {
+                QueryKind::Snapshot(t) => {
+                    f.scenario.tracked.oracle.snapshot_count(&inside, t) as f64
+                }
+                QueryKind::Transient(a, b) => {
+                    f.scenario.tracked.oracle.transient_count(&inside, a, b) as f64
+                }
+                QueryKind::Static(a, b) => {
+                    f.scenario.tracked.oracle.static_interval_count(&inside, a, b) as f64
+                }
+            };
+            assert!(
+                served.lower <= truth + 1e-9 && truth <= served.upper + 1e-9,
+                "{:?} [{}]: oracle {truth} outside [{}, {}]",
+                spec.kind,
+                served.strategy.label(),
+                served.lower,
+                served.upper
+            );
+            assert!(
+                served.value >= served.lower - 1e-9 && served.value <= served.upper + 1e-9,
+                "point value must sit inside the certified bracket"
+            );
+        }
+    }
+    assert!(upgraded > 0, "some quarantine-degraded answer must have escalated");
+    let r = rt.metrics().report();
+    assert_eq!(r.quarantined_edges, quarantined.len() as u64);
+    assert_eq!(
+        r.degraded_demoted + r.degraded_detour + r.degraded_imputed + r.degraded_learned,
+        upgraded,
+        "per-strategy counters must add up to the upgraded answers"
+    );
+    assert!(rt.metrics().recent_traces().iter().any(|t| t.strategy != "none"));
+
+    // Ingesting a single event invalidates the snapshot-certified brackets:
+    // every later answer falls back to the classic worst-case degradation.
+    rt.ingest(Crossing { time: 10_000.0, edge: quarantined[0], forward: true });
+    rt.flush_ingest();
+    for spec in &all {
+        let served = rt.query(spec.clone());
+        assert_eq!(
+            served.strategy,
+            DegradedStrategy::None,
+            "degraded-mode consults must stop after ingest"
+        );
+    }
+    rt.shutdown();
+}

@@ -244,6 +244,80 @@ fn recovery_bumps_epoch_and_brackets_stay_identical() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Degraded-mode certification tightens quarantined standing brackets
+/// without ever excluding the clean answer, and the delta/re-snapshot
+/// lockstep stays bitwise exact with certificates installed.
+#[test]
+fn certified_intervals_tighten_standing_brackets() {
+    let f = fixture();
+    let quarantined = quarantine_list(f, 5);
+    let cfg = RuntimeConfig {
+        num_shards: 3,
+        degraded: Some(DegradedPolicy::default()),
+        ..RuntimeConfig::default()
+    };
+    let rt = Runtime::with_quarantine(
+        f.scenario.sensing.clone(),
+        f.sampled.clone(),
+        &f.scenario.tracked.store,
+        cfg,
+        &quarantined,
+    );
+    let rt_clean = runtime(f, RuntimeConfig { num_shards: 3, ..RuntimeConfig::default() });
+    let subs = register(&rt, f, 6, 29);
+    let subs_clean = register(&rt_clean, f, 6, 29);
+    assert_eq!(subs.len(), subs_clean.len(), "same regions resolve on both runtimes");
+    assert!(subs.len() >= 2);
+    let before = rt.standing_brackets();
+
+    let installed = rt.certify_standing_brackets(T_LATE);
+    assert!(installed > 0, "the imputer must certify some quarantined edges");
+
+    let mut tightened = false;
+    for (((_, old), (id, new)), (hc, _)) in
+        before.iter().zip(rt.standing_brackets()).zip(&subs_clean)
+    {
+        // Intersection only tightens…
+        assert!(new.lower >= old.lower, "{id}: certification loosened the lower bound");
+        assert!(new.upper <= old.upper, "{id}: certification loosened the upper bound");
+        tightened |= new.lower > old.lower || new.upper < old.upper;
+        // …and never excludes the clean (exact-count) bracket: the
+        // certified interval contains each quarantined edge's true flow,
+        // which is exactly what the clean runtime folds.
+        let clean = rt_clean.standing_bracket(hc.id).expect("clean subscription is live");
+        assert!(
+            new.lower <= clean.lower && new.upper >= clean.upper,
+            "{id}: certified bracket [{}, {}] excludes clean [{}, {}]",
+            new.lower,
+            new.upper,
+            clean.lower,
+            clean.upper
+        );
+    }
+    assert!(tightened, "certification must strictly tighten at least one bracket");
+
+    // With certificates installed, deltas and re-snapshots must still land
+    // on identical bits: both certificate endpoints move in lockstep with
+    // the worst case under new events.
+    for &c in &stream(f.scenario.sensing.num_edges(), 450) {
+        rt.ingest(c);
+    }
+    rt.flush_ingest();
+    let delta_maintained = rt.standing_brackets();
+    rt.resnapshot_subscriptions();
+    for ((id, d), (id2, r)) in delta_maintained.iter().zip(rt.standing_brackets()) {
+        assert_eq!(*id, id2);
+        assert_eq!(d.value.to_bits(), r.value.to_bits(), "{id}: certified lockstep value");
+        assert_eq!(d.lower.to_bits(), r.lower.to_bits(), "{id}: certified lockstep lower");
+        assert_eq!(d.upper.to_bits(), r.upper.to_bits(), "{id}: certified lockstep upper");
+    }
+
+    // Ingestion invalidates the construction-time certification anchor.
+    assert_eq!(rt.certify_standing_brackets(T_LATE), 0, "dirty runtimes refuse to certify");
+    rt_clean.shutdown();
+    rt.shutdown();
+}
+
 /// A region the sampled graph cannot cover is refused at registration — the
 /// same refusal the query path reports as a miss.
 #[test]

@@ -31,6 +31,13 @@
 //!   for late-dropped events). The registry applies the same rule as a
 //!   delta: an inward event adds 1 to `upper`, an outward event subtracts 1
 //!   from `lower`, and `value` stays put.
+//! - A quarantined edge that carries a **certified interval** (installed by
+//!   [`SubscriptionRegistry::certify_quarantined`] from the degraded-mode
+//!   imputer) contributes the intersection of that interval — widened by
+//!   the events since certification — with the lifetime worst case. Both
+//!   intersection endpoints move in lockstep with the worst case under new
+//!   events, so the same ±1 delta rule keeps delta-maintained and
+//!   re-snapshot brackets bit-identical.
 //!
 //! All counts are integers, every intermediate is far below 2⁵³, and the
 //! baseline fold visits boundary edges in plan order — so float addition is
@@ -192,6 +199,18 @@ struct Subscription {
     push: Option<Sender<BracketUpdate>>,
 }
 
+/// A certified net-flow interval for one quarantined edge, installed by the
+/// degraded-mode imputation machinery (`stq_core::impute`): at certify time
+/// the edge's net forward flow provably lay in `[lo, hi]`. `base` snapshots
+/// the lifetime totals at that moment so later events widen the certificate
+/// soundly (each forward event can raise the net by at most 1, each
+/// backward event lower it by at most 1).
+struct Certificate {
+    lo: f64,
+    hi: f64,
+    base: [u64; 2],
+}
+
 /// The registry's replica of shard count state: what the shards have
 /// *applied*, not merely what was sent to them.
 struct Mirror {
@@ -204,6 +223,12 @@ struct Mirror {
     /// Edges the integrity auditor (or a recovery fallback) quarantined:
     /// their shards refuse to serve them, so brackets widen by totals.
     quarantined: HashSet<usize>,
+    /// Certified intervals for quarantined edges: the fold intersects each
+    /// with the lifetime worst case, so certificates only ever *tighten*
+    /// the widening. Both intersection endpoints move in lockstep with the
+    /// worst case under new events, which keeps the ±1 delta rule bitwise
+    /// exact.
+    certs: HashMap<usize, Certificate>,
 }
 
 struct Inner {
@@ -268,6 +293,7 @@ impl SubscriptionRegistry {
                     counts,
                     watermark,
                     quarantined: quarantined.into_iter().collect(),
+                    certs: HashMap::new(),
                 },
                 routes: HashMap::new(),
                 subs: HashMap::new(),
@@ -454,6 +480,37 @@ impl SubscriptionRegistry {
         out
     }
 
+    /// Installs a certified net-forward-flow interval `[lo, hi]` for a
+    /// quarantined edge (from the degraded-mode conservation-interval
+    /// imputer). The current lifetime totals are captured as the
+    /// certificate's base, so later events widen it soundly. Folds
+    /// intersect the certificate with the lifetime worst case — running
+    /// brackets pick it up at the next [`Self::advance_epoch`].
+    ///
+    /// Returns `false` (and installs nothing) when the edge is not
+    /// quarantined or the interval is not finite — certificates only make
+    /// sense where the worst-case widening applies.
+    pub fn certify_quarantined(&self, edge: usize, lo: f64, hi: f64) -> bool {
+        if !(lo.is_finite() && hi.is_finite() && lo <= hi) || edge >= self.totals.len() {
+            return false;
+        }
+        let mut inner = self.inner.lock();
+        if !inner.mirror.quarantined.contains(&edge) {
+            return false;
+        }
+        let base = [
+            self.totals[edge][0].load(Ordering::Relaxed),
+            self.totals[edge][1].load(Ordering::Relaxed),
+        ];
+        inner.mirror.certs.insert(edge, Certificate { lo, hi, base });
+        true
+    }
+
+    /// How many quarantined edges currently carry a certified interval.
+    pub fn certified_edges(&self) -> usize {
+        self.inner.lock().mirror.certs.len()
+    }
+
     /// The current bracket of one subscription.
     pub fn bracket(&self, id: SubscriptionId) -> Option<StandingBracket> {
         self.inner.lock().subs.get(&id.0).map(|s| s.bracket)
@@ -525,8 +582,26 @@ fn fold_bracket(
             let fwd = totals[be.edge][0].load(Ordering::Relaxed) as f64;
             let bwd = totals[be.edge][1].load(Ordering::Relaxed) as f64;
             let (total_in, total_out) = if be.inward_forward { (fwd, bwd) } else { (bwd, fwd) };
-            lower -= total_out;
-            upper += total_in;
+            let (mut edge_lo, mut edge_hi) = (-total_out, total_in);
+            if let Some(cert) = mirror.certs.get(&be.edge) {
+                // Certified net forward flow at certify time, widened by the
+                // events since (forward raises the net by ≤ 1 each, backward
+                // lowers it by ≤ 1 each), oriented inward, intersected with
+                // the lifetime worst case. Both endpoints then move in
+                // lockstep with the worst case, so the ±1 delta rule in
+                // `on_ingest` stays bitwise exact for certified edges too.
+                let fwd_since = fwd - cert.base[0] as f64;
+                let bwd_since = bwd - cert.base[1] as f64;
+                let (c_lo, c_hi) = if be.inward_forward {
+                    (cert.lo - bwd_since, cert.hi + fwd_since)
+                } else {
+                    (-cert.hi - fwd_since, -cert.lo + bwd_since)
+                };
+                edge_lo = edge_lo.max(c_lo);
+                edge_hi = edge_hi.min(c_hi);
+            }
+            lower += edge_lo;
+            upper += edge_hi;
         } else {
             let fwd = mirror.counts[be.edge][0] as f64;
             let bwd = mirror.counts[be.edge][1] as f64;
