@@ -169,6 +169,7 @@ fn run_runtime(s: &Scenario, g: &SampledGraph, w: &Workload, plan_cache: usize) 
             region: w.regions[i].0.clone(),
             kind,
             approx: Approximation::Lower,
+            deadline: None,
         })
         .collect();
     let start = Instant::now();

@@ -99,6 +99,7 @@ fn specs(s: &Scenario, n: usize, seed: u64) -> Vec<QuerySpec> {
                 region: region.clone(),
                 kind,
                 approx: Approximation::Lower,
+                deadline: None,
             })
         })
         .collect()

@@ -77,6 +77,7 @@ fn workload(s: &Scenario, g: &SampledGraph, want: usize) -> (Vec<QuerySpec>, f64
                     region: region.clone(),
                     kind,
                     approx: Approximation::Lower,
+                    deadline: None,
                 });
             }
             if specs.len() >= want * 3 {

@@ -109,7 +109,7 @@ fn subscribe_all(rt: &Runtime, up: &Setup, n_subs: usize) -> Vec<(SubscriptionHa
             let region = up.regions[i % up.regions.len()].clone();
             let approx = if i % 2 == 0 { Approximation::Lower } else { Approximation::Upper };
             let h = rt.subscribe(region.clone(), approx).expect("region pre-checked resolvable");
-            (h, QuerySpec { region, kind: QueryKind::Snapshot(T_LATE), approx })
+            (h, QuerySpec::new(region, QueryKind::Snapshot(T_LATE), approx))
         })
         .collect()
 }

@@ -24,7 +24,9 @@ use stq_core::tracker::Crossing;
 use stq_forms::{EdgeHealth, Evidence, FormStore};
 use stq_mobility::stats::{population_curve, WorkloadStats};
 use stq_net::{ChaosConfig, CrashWindow, SensorFaultKind, SensorFaultMix, SensorFaultPlan};
-use stq_runtime::{DurabilityConfig, QuerySpec, Runtime, RuntimeConfig, SubscribeError};
+use stq_runtime::{
+    DurabilityConfig, OverloadConfig, QuerySpec, Runtime, RuntimeConfig, SubscribeError,
+};
 use stq_sampling::SamplingMethod;
 
 /// Parsed command-line arguments: a subcommand plus `--key value` flags.
@@ -127,7 +129,8 @@ COMMANDS:
                                                 --wal-dir DIR --snapshot-every N
                                                 --sync-every N --ingest N --kill SHARD:SEQ
                                                 --subscribe N --subscribe-area F
-                                                --impute 0|1]
+                                                --impute 0|1 --overload 0|1
+                                                --deadline-ms MS]
   recover    rebuild shard state from disk     [--wal-dir DIR --snapshot-every N
                                                 --sync-every N + deployment flags]
   audit      corrupt sensors, audit + repair   [--dead F --lossy F --dup-sensors F
@@ -476,6 +479,24 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     "--impute answers through quarantine and needs sensor-fault flags".into(),
                 ));
             }
+            // Overload control is opt-in: `--overload 1` turns on the
+            // admission gate (queries then go through `try_submit` and can
+            // come back REJECTED), brownout shedding, and circuit breakers;
+            // `--deadline-ms` stamps a default budget on every query.
+            let overload_on = match args.get::<u8>("overload", 0)? {
+                0 => false,
+                1 => true,
+                _ => return Err(CliError::Usage("--overload must be 0 or 1".into())),
+            };
+            let deadline_ms = args.get_opt::<u64>("deadline-ms")?;
+            if deadline_ms.is_some() && !overload_on {
+                return Err(CliError::Usage(
+                    "--deadline-ms stamps a default query budget and needs --overload 1".into(),
+                ));
+            }
+            if deadline_ms == Some(0) {
+                return Err(CliError::Usage("--deadline-ms must be at least 1".into()));
+            }
             let cfg = RuntimeConfig {
                 num_shards: shards,
                 dispatchers,
@@ -484,6 +505,10 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 fault: chaos.message.clone(),
                 durability,
                 degraded: impute.then(DegradedPolicy::default),
+                overload: overload_on.then(|| OverloadConfig {
+                    default_deadline: deadline_ms.map(std::time::Duration::from_millis),
+                    ..OverloadConfig::default()
+                }),
                 ..RuntimeConfig::default()
             };
             let s = scenario_from(args)?;
@@ -593,7 +618,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                         "transient" => Ok(QueryKind::Transient(t0, t1)),
                         other => Err(CliError::Usage(format!("unknown query kind: {other}"))),
                     }?;
-                    Ok(QuerySpec { region, kind, approx: Approximation::Lower })
+                    Ok(QuerySpec::new(region, kind, Approximation::Lower))
                 })
                 .collect::<Result<_, CliError>>()?;
             writeln!(
@@ -602,19 +627,39 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                 "#", "answer η̂", "lower", "upper", "cover", "retry", "µs"
             )?;
             // Submit everything first so the queue and shard pool actually
-            // run concurrently, then collect in submission order.
-            let pending: Vec<_> = specs.into_iter().map(|spec| rt.submit(spec)).collect();
+            // run concurrently, then collect in submission order. With
+            // overload control on, the admission gate may refuse some
+            // submissions outright — those print as REJECTED rows.
+            let pending: Vec<_> = specs
+                .into_iter()
+                .map(|spec| if overload_on { rt.try_submit(spec) } else { Ok(rt.submit(spec)) })
+                .collect();
             for (i, p) in pending.into_iter().enumerate() {
-                let a = p.wait();
+                let a = match p {
+                    Ok(pending) => pending.wait(),
+                    Err(rej) => {
+                        writeln!(
+                            out,
+                            "{i:>3} | {:>10} (retry after {} ms)",
+                            "REJECTED",
+                            rej.retry_after.as_millis()
+                        )?;
+                        continue;
+                    }
+                };
                 // Degraded strategies print which rung of the escalation
                 // answered (and how much structural coverage certified it);
                 // classic worst-case degradation keeps the bare tag.
                 let tag = if a.miss {
                     "  MISS".to_string()
+                } else if a.expired {
+                    "  EXPIRED".to_string()
                 } else if a.strategy != DegradedStrategy::None {
                     format!("  {} conf {:.2}", a.strategy.label().to_uppercase(), a.confidence)
                 } else if a.quarantined > 0 {
                     "  QUARANTINED".to_string()
+                } else if a.brownout > 0 {
+                    format!("  BROWNOUT L{}", a.brownout)
                 } else if a.degraded {
                     "  DEGRADED".to_string()
                 } else {
@@ -1014,6 +1059,46 @@ mod tests {
         assert!(err.to_string().contains("sensor-fault"), "{err}");
         let args = Args::parse(["serve", "--impute", "2", "--dead", "0.1"].map(String::from));
         assert!(run(&args.unwrap(), &mut Vec::new()).is_err(), "--impute takes 0|1");
+    }
+
+    #[test]
+    fn serve_with_overload_control_serves_and_reports() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--queries",
+            "4",
+            "--shards",
+            "2",
+            "--overload",
+            "1",
+            "--deadline-ms",
+            "5000",
+        ]);
+        // A generous budget on an unloaded runtime: everything serves at
+        // full precision and the overload counters all stay at zero.
+        assert!(out.contains("overload:"), "report must carry the overload line:\n{out}");
+        assert!(out.contains("breakers:"), "report must carry the breaker line:\n{out}");
+        assert!(!out.contains("EXPIRED"), "nothing expires under a 5 s budget:\n{out}");
+        assert!(!out.contains("REJECTED"), "4 queries cannot fill the default gate:\n{out}");
+    }
+
+    #[test]
+    fn serve_overload_flag_validation() {
+        let args = Args::parse(["serve", "--deadline-ms", "100"].map(String::from)).unwrap();
+        let err = run(&args, &mut Vec::new()).expect_err("--deadline-ms needs --overload 1");
+        assert!(err.to_string().contains("--overload"), "{err}");
+        let args = Args::parse(["serve", "--overload", "2"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err(), "--overload takes 0|1");
+        let args =
+            Args::parse(["serve", "--overload", "1", "--deadline-ms", "0"].map(String::from))
+                .unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err(), "a zero budget is a refusal");
     }
 
     #[test]

@@ -144,6 +144,31 @@ impl QueryPlan {
         self.interior.len()
     }
 
+    /// Estimated serving cost of this plan in abstract admission units:
+    /// the boundary edges a full-precision execution must collect (the
+    /// perimeter work of §4.9) plus one unit per shard the fan-out can
+    /// contact (the message overhead). Relative pricing for an admission
+    /// gate, not a latency prediction.
+    pub fn cost_units(&self, num_shards: usize) -> f64 {
+        let edges = self.boundary.len() as f64;
+        let fanout = (num_shards.max(1) as f64).min(edges.max(1.0));
+        edges + fanout
+    }
+
+    /// The boundary positions a precision-shedding stride keeps: every
+    /// `stride`-th edge of the chain, tagged with its position so a partial
+    /// fold can still widen the skipped positions soundly. `stride == 1`
+    /// keeps the full boundary; `stride == 0` keeps nothing (a fully shed
+    /// answer built from worst-case totals alone). Skipped edges must be
+    /// treated exactly like silent shards — worst-case interval, reduced
+    /// coverage — which preserves bracket soundness at any stride.
+    pub fn shed_boundary(&self, stride: usize) -> Vec<(usize, BoundaryEdge)> {
+        if stride == 0 {
+            return Vec::new();
+        }
+        self.boundary.iter().enumerate().step_by(stride).map(|(i, &be)| (i, be)).collect()
+    }
+
     /// Executes one query kind against `store`, folding the boundary in
     /// plan order — bit-identical to the scalar
     /// [`crate::query::evaluate`] fold over the same chain.
@@ -405,6 +430,32 @@ mod tests {
                     assert_eq!(via_plan.covered_cells, via_answer.covered_cells);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn shed_boundary_strides_partition_soundly() {
+        let (s, g) = fixture();
+        for (q, _, _) in s.make_queries(4, 0.15, 2_000.0, 11) {
+            let plan = QueryPlan::compile(&s.sensing, &g, &q, Approximation::Lower);
+            if plan.miss {
+                continue;
+            }
+            let full = plan.shed_boundary(1);
+            assert_eq!(full.len(), plan.boundary.len(), "stride 1 keeps everything");
+            assert!(full.iter().enumerate().all(|(i, &(idx, _))| idx == i));
+            assert!(plan.shed_boundary(0).is_empty(), "stride 0 sheds everything");
+            for stride in [2usize, 4] {
+                let kept = plan.shed_boundary(stride);
+                assert_eq!(kept.len(), plan.boundary.len().div_ceil(stride));
+                for &(idx, be) in &kept {
+                    assert_eq!(idx % stride, 0);
+                    assert_eq!(be.edge, plan.boundary[idx].edge);
+                }
+            }
+            // Coarser strides never cost more admission units than finer ones.
+            assert!(plan.cost_units(4) >= plan.boundary.len() as f64);
+            assert!(plan.cost_units(1) <= plan.cost_units(8));
         }
     }
 

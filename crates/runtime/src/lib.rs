@@ -44,11 +44,13 @@
 //! ```
 
 pub mod metrics;
+pub mod overload;
 pub mod server;
 mod shard;
 mod supervisor;
 
 pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace, SubscriptionTrace};
+pub use overload::{BreakerConfig, BrownoutConfig, OverloadConfig, Rejected, MAX_BROWNOUT_LEVEL};
 pub use server::{
     DurabilityConfig, PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer,
     SubscriptionHandle,

@@ -40,6 +40,12 @@ pub struct QueryTrace {
     /// Degraded-mode strategy label (`"none"` when the ordinary path
     /// answered; see `stq_core::DegradedStrategy::label`).
     pub strategy: &'static str,
+    /// Brownout precision level the answer was served at (0 = full
+    /// precision, 3 = fully shed; see `crate::overload`).
+    pub brownout: u8,
+    /// Whether the query's deadline elapsed before it finished (the answer
+    /// was short-circuited or clamped; its bracket is still sound).
+    pub expired: bool,
 }
 
 /// One standing-subscription lifecycle event, as remembered by the
@@ -209,6 +215,40 @@ pub struct Metrics {
     /// Time `ingest` spends delta-pushing one event to all affected
     /// standing brackets — the staleness of the push path.
     pub delta_push_latency: Histogram,
+    /// Gauge: jobs sitting in the submission queue (sampled at submit and
+    /// dispatch; the brownout controller's first watermark input).
+    pub queue_depth: AtomicU64,
+    /// Queries the admission gate refused (cost capacity exceeded or the
+    /// queue full on `try_submit`) — each carried a `retry_after` hint.
+    pub admission_rejected: AtomicU64,
+    /// Queries whose deadline elapsed before completion (short-circuited at
+    /// submit, at dispatch, or clamped mid-fan-out).
+    pub deadline_expired: AtomicU64,
+    /// Fan-out requests a shard worker dropped unserved because the query's
+    /// deadline had already passed on arrival.
+    pub shard_deadline_skips: AtomicU64,
+    /// Answers served at a reduced (but non-zero) brownout precision level
+    /// (a strided boundary: wider sound brackets, cheaper execution).
+    pub downgraded: AtomicU64,
+    /// Answers fully shed by brownout level 3 (no fan-out at all; the
+    /// bracket comes from worst-case totals alone).
+    pub shed: AtomicU64,
+    /// Gauge: the brownout controller's current precision level (0–3).
+    pub brownout_level: AtomicU64,
+    /// Brownout level changes (escalations plus relaxations).
+    pub brownout_shifts: AtomicU64,
+    /// Circuit breakers tripped open (consecutive silent attempt windows).
+    pub breaker_opened: AtomicU64,
+    /// Breakers that let a half-open probe through after `open_for`.
+    pub breaker_half_open: AtomicU64,
+    /// Breakers closed again by a successful probe or response.
+    pub breaker_closed: AtomicU64,
+    /// Shard fan-outs skipped because the shard's breaker was open (each
+    /// degrades that query's coverage immediately instead of retrying).
+    pub breaker_skipped: AtomicU64,
+    /// Standing-subscription pushes coalesced after brownout shedding
+    /// lifted (one catch-up push per subscription).
+    pub sub_coalesced: AtomicU64,
     traces: Mutex<VecDeque<QueryTrace>>,
     sub_traces: Mutex<VecDeque<SubscriptionTrace>>,
 }
@@ -308,6 +348,19 @@ impl Metrics {
             deltas_pushed: load(&self.deltas_pushed),
             sub_resnapshots: load(&self.sub_resnapshots),
             sub_epoch: load(&self.sub_epoch),
+            queue_depth: load(&self.queue_depth),
+            admission_rejected: load(&self.admission_rejected),
+            deadline_expired: load(&self.deadline_expired),
+            shard_deadline_skips: load(&self.shard_deadline_skips),
+            downgraded: load(&self.downgraded),
+            shed: load(&self.shed),
+            brownout_level: load(&self.brownout_level),
+            brownout_shifts: load(&self.brownout_shifts),
+            breaker_opened: load(&self.breaker_opened),
+            breaker_half_open: load(&self.breaker_half_open),
+            breaker_closed: load(&self.breaker_closed),
+            breaker_skipped: load(&self.breaker_skipped),
+            sub_coalesced: load(&self.sub_coalesced),
             delta_push_p95_us: self.delta_push_latency.quantile_us(0.95),
             plan_p95_us: self.plan_latency.quantile_us(0.95),
             execute_p95_us: self.execute_latency.quantile_us(0.95),
@@ -397,6 +450,32 @@ pub struct MetricsReport {
     pub sub_resnapshots: u64,
     /// See [`Metrics::sub_epoch`] (gauge at snapshot time).
     pub sub_epoch: u64,
+    /// See [`Metrics::queue_depth`] (gauge at snapshot time).
+    pub queue_depth: u64,
+    /// See [`Metrics::admission_rejected`].
+    pub admission_rejected: u64,
+    /// See [`Metrics::deadline_expired`].
+    pub deadline_expired: u64,
+    /// See [`Metrics::shard_deadline_skips`].
+    pub shard_deadline_skips: u64,
+    /// See [`Metrics::downgraded`].
+    pub downgraded: u64,
+    /// See [`Metrics::shed`].
+    pub shed: u64,
+    /// See [`Metrics::brownout_level`] (gauge at snapshot time).
+    pub brownout_level: u64,
+    /// See [`Metrics::brownout_shifts`].
+    pub brownout_shifts: u64,
+    /// See [`Metrics::breaker_opened`].
+    pub breaker_opened: u64,
+    /// See [`Metrics::breaker_half_open`].
+    pub breaker_half_open: u64,
+    /// See [`Metrics::breaker_closed`].
+    pub breaker_closed: u64,
+    /// See [`Metrics::breaker_skipped`].
+    pub breaker_skipped: u64,
+    /// See [`Metrics::sub_coalesced`].
+    pub sub_coalesced: u64,
     /// 95th-percentile delta-push latency bucket edge (µs).
     pub delta_push_p95_us: u64,
     /// 95th-percentile plan-acquisition latency bucket edge (µs).
@@ -470,6 +549,29 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "overload: queue depth {}, rejected {}, expired {}, downgraded {}, shed {}, \
+             brownout level {} (shifts {})",
+            self.queue_depth,
+            self.admission_rejected,
+            self.deadline_expired,
+            self.downgraded,
+            self.shed,
+            self.brownout_level,
+            self.brownout_shifts
+        )?;
+        writeln!(
+            f,
+            "breakers: opened {}, half-open {}, closed {}, skipped {}, shard deadline skips {}, \
+             pushes coalesced {}",
+            self.breaker_opened,
+            self.breaker_half_open,
+            self.breaker_closed,
+            self.breaker_skipped,
+            self.shard_deadline_skips,
+            self.sub_coalesced
+        )?;
+        writeln!(
+            f,
             "engine: plan hits {} misses {} invalidations {}, plan p95 {}us, execute p95 {}us",
             self.plan_cache_hits,
             self.plan_cache_misses,
@@ -521,6 +623,8 @@ mod tests {
                 degraded: false,
                 miss: false,
                 strategy: "none",
+                brownout: 0,
+                expired: false,
             });
         }
         let traces = m.recent_traces();
@@ -570,6 +674,8 @@ mod tests {
             degraded: false,
             miss: false,
             strategy: "none",
+            brownout: 0,
+            expired: false,
         };
         let m = Metrics::new();
         for i in 0..TRACE_CAP as u64 {
@@ -693,6 +799,76 @@ mod tests {
         // Pre-existing lines keep their shape (additive change only).
         assert!(text.contains("latency p50"));
         assert!(text.contains("queries 0"));
+    }
+
+    #[test]
+    fn overload_counters_round_trip_report_at_saturation() {
+        // The counter mix a saturated runtime produces: a deep queue,
+        // admission rejections, expired deadlines, brownout downgrades and
+        // full sheds, breaker churn, and coalesced subscription pushes.
+        let m = Metrics::new();
+        m.queue_depth.store(61, Ordering::Relaxed);
+        Metrics::add(&m.admission_rejected, 40);
+        Metrics::add(&m.deadline_expired, 9);
+        Metrics::add(&m.shard_deadline_skips, 5);
+        Metrics::add(&m.downgraded, 17);
+        Metrics::add(&m.shed, 4);
+        m.brownout_level.store(2, Ordering::Relaxed);
+        Metrics::add(&m.brownout_shifts, 3);
+        Metrics::add(&m.breaker_opened, 2);
+        Metrics::bump(&m.breaker_half_open);
+        Metrics::bump(&m.breaker_closed);
+        Metrics::add(&m.breaker_skipped, 11);
+        Metrics::add(&m.sub_coalesced, 6);
+        let r = m.report();
+        assert_eq!(r.queue_depth, 61);
+        assert_eq!(r.admission_rejected, 40);
+        assert_eq!(r.deadline_expired, 9);
+        assert_eq!(r.shard_deadline_skips, 5);
+        assert_eq!(r.downgraded, 17);
+        assert_eq!(r.shed, 4);
+        assert_eq!(r.brownout_level, 2);
+        assert_eq!(r.brownout_shifts, 3);
+        assert_eq!(r.breaker_opened, 2);
+        assert_eq!(r.breaker_half_open, 1);
+        assert_eq!(r.breaker_closed, 1);
+        assert_eq!(r.breaker_skipped, 11);
+        assert_eq!(r.sub_coalesced, 6);
+        let text = r.to_string();
+        assert!(text.contains("queue depth 61"));
+        assert!(text.contains("rejected 40"));
+        assert!(text.contains("downgraded 17"));
+        assert!(text.contains("shed 4"));
+        assert!(text.contains("brownout level 2 (shifts 3)"));
+        assert!(text.contains("breakers: opened 2, half-open 1, closed 1, skipped 11"));
+        assert!(text.contains("pushes coalesced 6"));
+        // Pre-existing lines keep their shape (additive change only).
+        assert!(text.contains("latency p50"));
+        assert!(text.contains("queries 0"));
+        assert!(text.contains("plan hits"));
+    }
+
+    #[test]
+    fn query_trace_records_brownout_and_expiry() {
+        let m = Metrics::new();
+        m.trace(QueryTrace {
+            query_id: 7,
+            shards: 0,
+            retries: 0,
+            coverage: 0.0,
+            latency_us: 40,
+            plan_us: 2,
+            plan_cache_hit: true,
+            degraded: true,
+            miss: false,
+            strategy: "none",
+            brownout: 3,
+            expired: true,
+        });
+        let t = m.recent_traces();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].brownout, 3);
+        assert!(t[0].expired);
     }
 
     #[test]

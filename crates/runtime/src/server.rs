@@ -57,6 +57,7 @@ use stq_subscribe::{
 };
 
 use crate::metrics::{Metrics, QueryTrace, SubscriptionTrace};
+use crate::overload::{stride_for, Gate, OverloadConfig, OverloadState, Rejected, Transition};
 use crate::shard::{EdgeCounts, ShardHealth, ShardMsg, ShardRequest, ShardResponse, HEALTHY};
 use crate::supervisor::{IngestLane, Supervisor, SupervisorMsg};
 
@@ -131,6 +132,12 @@ pub struct RuntimeConfig {
     /// Only consulted while no event has been ingested since startup: the
     /// certified brackets are computed against the construction-time store.
     pub degraded: Option<DegradedPolicy>,
+    /// Overload control: deadline budgets, cost-based admission, brownout
+    /// precision shedding, and per-shard circuit breakers (see
+    /// [`crate::overload`]). `None` (the default) keeps the classic
+    /// behavior: `submit` blocks on a full queue and serves at full
+    /// precision regardless of load.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -146,6 +153,7 @@ impl Default for RuntimeConfig {
             durability: None,
             plan_cache: 256,
             degraded: None,
+            overload: None,
         }
     }
 }
@@ -159,6 +167,27 @@ pub struct QuerySpec {
     pub kind: QueryKind,
     /// Lower (`R₂`) or upper (`R₁`) region resolution.
     pub approx: Approximation,
+    /// Wall-clock deadline the answer is worthless after. It propagates
+    /// submit → dispatcher → shard fan-out, and every hop short-circuits a
+    /// query that is already past it (the answer then carries
+    /// `expired == true` and a sound worst-case bracket instead of work
+    /// nobody wants). `None` (the default) serves without a budget —
+    /// unless [`OverloadConfig::default_deadline`] stamps one at submit.
+    pub deadline: Option<Instant>,
+}
+
+impl QuerySpec {
+    /// A spec with no deadline (the common case; all fields stay public
+    /// for struct-literal construction).
+    pub fn new(region: QueryRegion, kind: QueryKind, approx: Approximation) -> Self {
+        QuerySpec { region, kind, approx, deadline: None }
+    }
+
+    /// Returns the spec with a deadline `budget` from now.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
 }
 
 /// The runtime's answer to one query.
@@ -205,6 +234,16 @@ pub struct ServedAnswer {
     pub plan_latency: Duration,
     /// End-to-end latency.
     pub latency: Duration,
+    /// The query's deadline elapsed before it finished: the answer was
+    /// short-circuited (no fan-out) or clamped mid-fan-out. The bracket is
+    /// still sound — built from worst-case totals for whatever did not
+    /// report — but the client asked for it by the deadline and should
+    /// treat it as degraded-by-budget.
+    pub expired: bool,
+    /// Brownout precision level the answer was served at: 0 = full
+    /// precision, 1–2 = strided boundary (every 2nd / 4th edge served, the
+    /// rest widened by worst-case totals), 3 = fully shed (no fan-out).
+    pub brownout: u8,
 }
 
 /// A live standing subscription: its identity, baseline bracket, and the
@@ -240,6 +279,9 @@ impl PendingAnswer {
 struct Job {
     id: u64,
     spec: QuerySpec,
+    /// Admission-gate reservation (milli cost units) to release once the
+    /// answer is out; 0 for jobs that never passed the gate.
+    cost_milli: u64,
     reply: Sender<ServedAnswer>,
 }
 
@@ -275,6 +317,15 @@ struct ServerState {
     /// brackets no longer describe the live store, so degraded-mode
     /// consults stop.
     deg_dirty: AtomicBool,
+    /// Overload control (admission gate, brownout controller, breakers);
+    /// `None` when [`RuntimeConfig::overload`] is unset.
+    overload: Option<OverloadState>,
+    /// Capacity of each query's aggregator response channel: every awaited
+    /// shard can answer once per attempt plus one injected duplicate, so
+    /// `2 × num_shards × (max_retries + 1)` bounds the messages a query
+    /// can ever receive — late answers beyond it are dropped by the
+    /// shard's `try_send`, exactly like answers after the receiver is gone.
+    resp_capacity: usize,
 }
 
 /// A running sharded query server over one deployment.
@@ -362,7 +413,12 @@ impl Runtime {
         let durable_seq: Arc<Vec<AtomicU64>> =
             Arc::new((0..ns).map(|_| AtomicU64::new(0)).collect());
 
-        let (events_tx, events_rx) = channel::unbounded::<SupervisorMsg>();
+        // Bounded supervisor inbox: each shard has at most one unprocessed
+        // exit event at a time (the supervisor respawns a worker before
+        // draining the next event, so a shard cannot enqueue a second exit
+        // until its first was handled), plus one shutdown message — 2×ns+2
+        // leaves slack for both without ever blocking a dying worker.
+        let (events_tx, events_rx) = channel::bounded::<SupervisorMsg>(2 * ns + 2);
         let supervisor = Supervisor::start(
             parts,
             bad,
@@ -383,6 +439,8 @@ impl Runtime {
             .spawn(move || supervisor.run(events_rx))
             .expect("spawn supervisor");
 
+        let overload =
+            cfg.overload.as_ref().map(|oc| OverloadState::new(oc.clone(), &sensing, &sampled, ns));
         let state = Arc::new(ServerState {
             sensing,
             sampled,
@@ -398,6 +456,8 @@ impl Runtime {
             degraded,
             deg_store,
             deg_dirty: AtomicBool::new(false),
+            overload,
+            resp_capacity: 2 * ns * (cfg.max_retries as usize + 1),
         });
         let (jobs_tx, jobs_rx) = channel::bounded::<Job>(cfg.queue_capacity.max(1));
         let mut dispatcher_threads = Vec::with_capacity(cfg.dispatchers);
@@ -408,6 +468,7 @@ impl Runtime {
                 .name(format!("stq-dispatch-{d}"))
                 .spawn(move || {
                     while let Ok(job) = rx.recv() {
+                        st.metrics.queue_depth.store(rx.len() as u64, Ordering::Relaxed);
                         serve(&st, job);
                     }
                 })
@@ -638,19 +699,120 @@ impl Runtime {
         st.health.iter().map(|h| ShardHealth::from_u8(h.load(Ordering::Acquire))).collect()
     }
 
+    /// Stamps the configured default deadline on specs without one.
+    fn with_default_deadline(&self, mut spec: QuerySpec) -> QuerySpec {
+        if spec.deadline.is_none() {
+            if let Some(d) = self
+                .state
+                .as_ref()
+                .and_then(|st| st.overload.as_ref())
+                .and_then(|ov| ov.cfg.default_deadline)
+            {
+                spec.deadline = Some(Instant::now() + d);
+            }
+        }
+        spec
+    }
+
+    /// Serves an already-expired job without any shard traffic: the plan
+    /// (cached) still yields a sound worst-case bracket from the lifetime
+    /// totals, so even a budget-starved client gets honest bounds.
+    fn reply_expired(&self, job: Job) {
+        let st = self.state.as_ref().expect("runtime is running");
+        let answer = expired_answer(st, job.id, &job.spec, Instant::now());
+        record_served(st, &answer);
+        let _ = job.reply.send(answer);
+    }
+
     /// Enqueues a query; blocks only when the submission queue is full.
+    ///
+    /// A spec with a deadline never blocks past it: if the queue stays full
+    /// until the deadline, the query is answered immediately with
+    /// `expired == true` and a sound worst-case bracket instead of
+    /// stalling the caller indefinitely.
     pub fn submit(&self, spec: QuerySpec) -> PendingAnswer {
+        let spec = self.with_default_deadline(spec);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::bounded(1);
-        assert!(
-            self.jobs
-                .as_ref()
-                .expect("runtime is running")
-                .send(Job { id, spec, reply: tx })
-                .is_ok(),
-            "dispatcher pool alive"
-        );
+        let jobs = self.jobs.as_ref().expect("runtime is running");
+        let job = Job { id, spec, cost_milli: 0, reply: tx };
+        match job.spec.deadline {
+            None => assert!(jobs.send(job).is_ok(), "dispatcher pool alive"),
+            Some(dl) => {
+                let now = Instant::now();
+                if dl <= now {
+                    self.reply_expired(job);
+                    return PendingAnswer(rx);
+                }
+                match jobs.send_timeout(job, dl - now) {
+                    Ok(()) => {}
+                    Err(channel::SendTimeoutError::Timeout(job)) => {
+                        self.reply_expired(job);
+                        return PendingAnswer(rx);
+                    }
+                    Err(channel::SendTimeoutError::Disconnected(_)) => {
+                        unreachable!("dispatcher pool alive")
+                    }
+                }
+            }
+        }
+        self.metrics.queue_depth.store(jobs.len() as u64, Ordering::Relaxed);
         PendingAnswer(rx)
+    }
+
+    /// Non-blocking submission: where [`Runtime::submit`] queues, this
+    /// rejects. The query is refused with a [`Rejected`] `retry_after`
+    /// hint when the admission gate's estimated-cost capacity is exhausted
+    /// (overload control on) or the submission queue is full — in both
+    /// cases before any plan, queue slot, or shard traffic is spent on it.
+    pub fn try_submit(&self, spec: QuerySpec) -> Result<PendingAnswer, Rejected> {
+        let spec = self.with_default_deadline(spec);
+        let st = self.state.as_ref().expect("runtime is running");
+        let jobs = self.jobs.as_ref().expect("runtime is running");
+        let mut cost_milli = 0u64;
+        if let Some(ov) = st.overload.as_ref() {
+            match ov.try_admit(ov.price(spec.region.junctions.len())) {
+                Ok(milli) => cost_milli = milli,
+                Err(retry_after) => {
+                    Metrics::bump(&st.metrics.admission_rejected);
+                    return Err(Rejected { retry_after });
+                }
+            }
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::bounded(1);
+        let job = Job { id, spec, cost_milli, reply: tx };
+        if job.spec.deadline.is_some_and(|dl| dl <= Instant::now()) {
+            // Expired on arrival: answer straight away, no queue slot.
+            if let Some(ov) = st.overload.as_ref() {
+                ov.release(job.cost_milli);
+            }
+            let job = Job { cost_milli: 0, ..job };
+            self.reply_expired(job);
+            return Ok(PendingAnswer(rx));
+        }
+        match jobs.try_send(job) {
+            Ok(()) => {
+                self.metrics.queue_depth.store(jobs.len() as u64, Ordering::Relaxed);
+                Ok(PendingAnswer(rx))
+            }
+            Err(channel::TrySendError::Full(job)) => {
+                if let Some(ov) = st.overload.as_ref() {
+                    ov.release(job.cost_milli);
+                }
+                Metrics::bump(&st.metrics.admission_rejected);
+                // Rough drain hint: one full backoff schedule.
+                let retry_after = st
+                    .overload
+                    .as_ref()
+                    .map(|ov| ov.queue_retry_after())
+                    .unwrap_or(st.cfg.shard_timeout * (st.cfg.max_retries + 1));
+                Err(Rejected { retry_after })
+            }
+            Err(channel::TrySendError::Disconnected(_)) => {
+                unreachable!("dispatcher pool alive")
+            }
+        }
     }
 
     /// Serves one query synchronously.
@@ -690,7 +852,25 @@ impl Drop for Runtime {
 
 fn serve(st: &ServerState, job: Job) {
     let start = Instant::now();
-    let answer = compute(st, job.id, &job.spec, start);
+    // Deadline short-circuit at the dispatch hop: a job whose budget ran
+    // out while it sat in the queue is answered from the worst-case totals
+    // without any fan-out.
+    let answer = if job.spec.deadline.is_some_and(|dl| Instant::now() >= dl) {
+        expired_answer(st, job.id, &job.spec, start)
+    } else {
+        compute(st, job.id, &job.spec, start)
+    };
+    if let Some(ov) = st.overload.as_ref() {
+        ov.release(job.cost_milli);
+    }
+    record_served(st, &answer);
+    // The client may have given up on the PendingAnswer; that's fine.
+    let _ = job.reply.send(answer);
+}
+
+/// Folds one served answer into the metric registry and trace ring (shared
+/// by the dispatcher path and the expired-at-submit short-circuit).
+fn record_served(st: &ServerState, answer: &ServedAnswer) {
     let m = &st.metrics;
     m.latency.record(answer.latency.as_micros() as u64);
     Metrics::bump(&m.queries);
@@ -699,6 +879,14 @@ fn serve(st: &ServerState, job: Job) {
     }
     if answer.degraded {
         Metrics::bump(&m.degraded);
+    }
+    if answer.expired {
+        Metrics::bump(&m.deadline_expired);
+    }
+    match answer.brownout {
+        0 => {}
+        b if stride_for(b) == 0 => Metrics::bump(&m.shed),
+        _ => Metrics::bump(&m.downgraded),
     }
     match answer.strategy {
         DegradedStrategy::None => {}
@@ -724,9 +912,93 @@ fn serve(st: &ServerState, job: Job) {
         degraded: answer.degraded,
         miss: answer.miss,
         strategy: answer.strategy.label(),
+        brownout: answer.brownout,
+        expired: answer.expired,
     });
-    // The client may have given up on the PendingAnswer; that's fine.
-    let _ = job.reply.send(answer);
+}
+
+/// Maps a breaker transition onto its metric counter.
+fn record_transition(st: &ServerState, tr: Option<Transition>) {
+    match tr {
+        Some(Transition::Opened) => Metrics::bump(&st.metrics.breaker_opened),
+        Some(Transition::HalfOpened) => Metrics::bump(&st.metrics.breaker_half_open),
+        Some(Transition::Closed) => Metrics::bump(&st.metrics.breaker_closed),
+        None => {}
+    }
+}
+
+/// The all-edges-missing bracket of one plan: every boundary edge
+/// contributes its lifetime worst case `[−total_out, +total_in]`, the
+/// estimate is 0. The same monotone `min` / `max(0, ·)` transforms as the
+/// aggregator fold keep the Static-kind bracket sound.
+fn worst_case_bracket(
+    st: &ServerState,
+    plan: &stq_core::engine::QueryPlan,
+    kind: QueryKind,
+) -> (f64, f64, f64) {
+    let (mut lo, mut hi) = (0.0f64, 0.0f64);
+    for be in &plan.boundary {
+        let fwd = st.totals[be.edge][0].load(Ordering::Relaxed) as f64;
+        let bwd = st.totals[be.edge][1].load(Ordering::Relaxed) as f64;
+        let (total_in, total_out) = if be.inward_forward { (fwd, bwd) } else { (bwd, fwd) };
+        lo -= total_out;
+        hi += total_in;
+    }
+    match kind {
+        QueryKind::Snapshot(_) | QueryKind::Transient(..) => (0.0, lo, hi),
+        QueryKind::Static(..) => (0.0, lo.max(0.0), hi.max(0.0)),
+    }
+}
+
+/// Serves a query whose deadline already elapsed: the (cached) plan still
+/// yields a sound worst-case bracket, but no shard is contacted.
+fn expired_answer(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> ServedAnswer {
+    let plan_t0 = Instant::now();
+    let (plan, plan_cache_hit) =
+        st.engine.plan(&st.sensing, &st.sampled, &spec.region, spec.approx);
+    let plan_latency = plan_t0.elapsed();
+    if plan.miss {
+        return ServedAnswer {
+            query_id: id,
+            value: 0.0,
+            lower: 0.0,
+            upper: 0.0,
+            coverage: 0.0,
+            miss: true,
+            degraded: false,
+            strategy: DegradedStrategy::None,
+            confidence: 0.0,
+            quarantined: 0,
+            shards: 0,
+            retries: 0,
+            plan_cache_hit,
+            plan_latency,
+            latency: start.elapsed(),
+            expired: true,
+            brownout: 0,
+        };
+    }
+    let (value, lower, upper) = worst_case_bracket(st, &plan, spec.kind);
+    let coverage = if plan.boundary.is_empty() { 1.0 } else { 0.0 };
+    ServedAnswer {
+        query_id: id,
+        value,
+        lower,
+        upper,
+        coverage,
+        miss: false,
+        degraded: coverage < 1.0,
+        strategy: DegradedStrategy::None,
+        confidence: 0.0,
+        quarantined: 0,
+        shards: 0,
+        retries: 0,
+        plan_cache_hit,
+        plan_latency,
+        latency: start.elapsed(),
+        expired: true,
+        brownout: 0,
+    }
 }
 
 fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> ServedAnswer {
@@ -763,6 +1035,8 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                 plan_cache_hit,
                 plan_latency,
                 latency: start.elapsed(),
+                expired: false,
+                brownout: 0,
             };
         }
         return ServedAnswer {
@@ -781,34 +1055,73 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
             plan_cache_hit,
             plan_latency,
             latency: start.elapsed(),
+            expired: false,
+            brownout: 0,
         };
     }
     let exec_t0 = Instant::now();
     let boundary = &plan.boundary;
 
-    // Fan out: group boundary edges by owning shard, tagged with their
-    // position in the chain so the aggregate fold preserves term order.
+    // Brownout: the current precision level picks a boundary-sampling
+    // stride. Level 0 serves every edge (the classic path); higher levels
+    // serve every 2nd / 4th / no edge — the skipped ones fall to the same
+    // worst-case-totals degradation as silent shards, so the answer is
+    // cheaper and wider but still sound.
+    let level = st.overload.as_ref().map(|ov| ov.brownout.level()).unwrap_or(0);
+
+    // Fan out: group the served boundary edges by owning shard, tagged with
+    // their position in the chain so the aggregate fold preserves term
+    // order.
     let ns = st.cfg.num_shards;
     let mut pending: HashMap<usize, Vec<(usize, BoundaryEdge)>> = HashMap::new();
-    for (idx, &be) in boundary.iter().enumerate() {
+    for (idx, be) in plan.shed_boundary(stride_for(level)) {
         pending.entry(be.edge % ns).or_default().push((idx, be));
     }
     let fanout = pending.len();
     let mut slots: Vec<Option<EdgeCounts>> = vec![None; boundary.len()];
     let mut refused_total = 0usize;
-    let (tx, rx) = channel::unbounded::<ShardResponse>();
+    // Bounded per-query response channel (see `ServerState::resp_capacity`);
+    // shards `try_send`, so a late answer past the cap is dropped, never a
+    // blocked worker.
+    let (tx, rx) = channel::bounded::<ShardResponse>(st.resp_capacity.max(1));
     let mut retries_used = 0u32;
+    let mut expired_mid = false;
 
     let healthy = |shard: usize| st.health[shard].load(Ordering::Acquire) == HEALTHY;
     for attempt in 0..=st.cfg.max_retries {
+        // Deadline short-circuit at the fan-out hop: no further attempts
+        // once the budget is gone — whatever already reported is folded,
+        // the rest degrades.
+        if spec.deadline.is_some_and(|dl| Instant::now() >= dl) {
+            expired_mid = true;
+            break;
+        }
         // Unhealthy / recovering shards are skipped outright: their edges
         // degrade to worst-case bounds instead of stalling the query. A
         // shard that finishes recovery before a later attempt rejoins then.
-        let mut awaiting: HashSet<usize> =
-            pending.keys().copied().filter(|&s| healthy(s)).collect();
-        let skipped = pending.len() - awaiting.len();
-        if skipped > 0 {
-            Metrics::add(&st.metrics.skipped_unhealthy, skipped as u64);
+        // Open circuit breakers skip the same way (no retry storm against a
+        // repeatedly-silent shard), except for the one half-open probe.
+        let mut awaiting: HashSet<usize> = HashSet::new();
+        let mut skipped_unhealthy = 0u64;
+        for &shard in pending.keys() {
+            if !healthy(shard) {
+                skipped_unhealthy += 1;
+                continue;
+            }
+            let (gate, tr) = match st.overload.as_ref() {
+                Some(ov) => ov.breakers.admit(shard),
+                None => (Gate::Allow, None),
+            };
+            record_transition(st, tr);
+            match gate {
+                Gate::Allow | Gate::Probe => {
+                    awaiting.insert(shard);
+                }
+                Gate::Skip => Metrics::bump(&st.metrics.breaker_skipped),
+            }
+        }
+        if skipped_unhealthy > 0 {
+            Metrics::add(&st.metrics.skipped_unhealthy, skipped_unhealthy);
         }
         for (&shard, edges) in pending.iter().filter(|(s, _)| awaiting.contains(s)) {
             Metrics::bump(&st.metrics.shard_requests);
@@ -817,6 +1130,7 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                 attempt,
                 kind: spec.kind,
                 edges: edges.clone(),
+                deadline: spec.deadline,
                 reply: tx.clone(),
             }));
         }
@@ -825,8 +1139,12 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         // the channel is live) but produced nothing — once every awaited
         // shard has failed, waiting out the timeout is pointless.
         let mut panicked_now: HashSet<usize> = HashSet::new();
-        // Exponential backoff: attempt k waits 2^k × the base window.
-        let deadline = Instant::now() + st.cfg.shard_timeout * (1u32 << attempt);
+        // Exponential backoff: attempt k waits 2^k × the base window —
+        // clamped to the query deadline, which no attempt may overshoot.
+        let mut deadline = Instant::now() + st.cfg.shard_timeout * (1u32 << attempt);
+        if let Some(dl) = spec.deadline {
+            deadline = deadline.min(dl);
+        }
         while !awaiting.is_empty() {
             let now = Instant::now();
             if now >= deadline {
@@ -853,6 +1171,9 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                         for c in resp.counts {
                             slots[c.idx] = Some(c);
                         }
+                        if let Some(ov) = st.overload.as_ref() {
+                            record_transition(st, ov.breakers.success(resp.shard));
+                        }
                     }
                 }
                 Err(_) => {
@@ -864,6 +1185,17 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                     {
                         break;
                     }
+                }
+            }
+        }
+        // Breaker bookkeeping: a shard that stayed silent through its
+        // attempt window counts one failure. Panicked workers are excluded
+        // — they answered (the supervisor's escalation path owns them) —
+        // and so are workers the health check removed mid-wait.
+        if let Some(ov) = st.overload.as_ref() {
+            for &shard in &awaiting {
+                if !panicked_now.contains(&shard) {
+                    record_transition(st, ov.breakers.failure(shard));
                 }
             }
         }
@@ -931,7 +1263,24 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         }
     }
 
-    st.metrics.execute_latency.record(exec_t0.elapsed().as_micros() as u64);
+    let exec_us = exec_t0.elapsed().as_micros() as u64;
+    st.metrics.execute_latency.record(exec_us);
+    // Feed the brownout controller; on a level shift, crossing level 2
+    // also toggles subscription delta-push shedding (with a coalesced
+    // catch-up push on the way back down).
+    if let Some(ov) = st.overload.as_ref() {
+        let depth = st.metrics.queue_depth.load(Ordering::Relaxed) as usize;
+        if let Some((from, to)) = ov.brownout.observe(depth, exec_us) {
+            st.metrics.brownout_level.store(to as u64, Ordering::Relaxed);
+            Metrics::bump(&st.metrics.brownout_shifts);
+            if from < 2 && to >= 2 {
+                st.subs.set_shed_pushes(true);
+            } else if from >= 2 && to < 2 {
+                let coalesced = st.subs.set_shed_pushes(false);
+                Metrics::add(&st.metrics.sub_coalesced, coalesced.len() as u64);
+            }
+        }
+    }
     ServedAnswer {
         query_id: id,
         value,
@@ -948,6 +1297,8 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
         plan_cache_hit,
         plan_latency,
         latency: start.elapsed(),
+        expired: expired_mid,
+        brownout: level,
     }
 }
 

@@ -21,7 +21,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use stq_core::query::QueryKind;
@@ -81,6 +81,10 @@ pub(crate) struct ShardRequest {
     pub attempt: u32,
     pub kind: QueryKind,
     pub edges: Vec<(usize, BoundaryEdge)>,
+    /// The query's deadline, when it carries one: a request that is already
+    /// past it is dropped at the worker without computing (the aggregator
+    /// gave up at the same instant, so nobody is waiting for the answer).
+    pub deadline: Option<Instant>,
     pub reply: Sender<ShardResponse>,
 }
 
@@ -262,6 +266,13 @@ impl ShardWorker {
 
     /// Serves one query request. Returns true when the worker escalates.
     fn handle(&mut self, req: ShardRequest) -> bool {
+        // Deadline short-circuit before anything else (including the fault
+        // delay): expired work is pure waste, and the aggregator's wait is
+        // clamped to the same deadline, so it has already moved on.
+        if req.deadline.is_some_and(|dl| Instant::now() >= dl) {
+            Metrics::bump(&self.metrics.shard_deadline_skips);
+            return false;
+        }
         let seen = self.delivered;
         self.delivered += 1;
         if self.plan.is_crashed(self.id, seen) {
@@ -337,11 +348,14 @@ impl ShardWorker {
         };
         if fate.duplicate {
             Metrics::bump(&self.metrics.duplicated);
-            let _ = req.reply.send(response.clone());
+            let _ = req.reply.try_send(response.clone());
         }
-        // The aggregator may have timed out and dropped the receiver; a
-        // failed send is simply a late answer nobody is waiting for.
-        let _ = req.reply.send(response);
+        // The aggregator may have timed out and dropped the receiver, and
+        // its response channel is bounded (sized for the worst-case message
+        // count, see `crate::server`): a failed or refused send is simply a
+        // late answer nobody is waiting for, and must never block the
+        // worker behind a gone aggregator.
+        let _ = req.reply.try_send(response);
         escalate
     }
 

@@ -53,7 +53,7 @@ fn specs_for(f: &Fixture, frac: f64, seed: u64, upper: bool) -> Vec<QuerySpec> {
         .flat_map(|(region, t0, t1)| {
             [QueryKind::Snapshot(t0), QueryKind::Transient(t0, t1), QueryKind::Static(t0, t1)]
                 .into_iter()
-                .map(move |kind| QuerySpec { region: region.clone(), kind, approx })
+                .map(move |kind| QuerySpec { region: region.clone(), kind, approx, deadline: None })
         })
         .collect()
 }

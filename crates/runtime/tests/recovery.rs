@@ -100,6 +100,7 @@ fn specs(f: &Fixture, n: usize, seed: u64) -> Vec<QuerySpec> {
                 region: region.clone(),
                 kind,
                 approx: Approximation::Lower,
+                deadline: None,
             })
         })
         .collect()

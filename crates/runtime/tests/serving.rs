@@ -70,6 +70,7 @@ fn specs(f: &Fixture, n: usize, frac: f64, seed: u64) -> Vec<QuerySpec> {
                     region: region.clone(),
                     kind,
                     approx: Approximation::Lower,
+                    deadline: None,
                 })
         })
         .collect()

@@ -103,8 +103,7 @@ fn register(
         .enumerate()
         .filter_map(|(i, (region, _, _))| {
             let approx = if i % 2 == 0 { Approximation::Lower } else { Approximation::Upper };
-            let spec =
-                QuerySpec { region: region.clone(), kind: QueryKind::Snapshot(T_LATE), approx };
+            let spec = QuerySpec::new(region.clone(), QueryKind::Snapshot(T_LATE), approx);
             rt.subscribe(region, approx).ok().map(|h| (h, spec))
         })
         .collect()
@@ -330,11 +329,8 @@ fn subscribe_rejects_unresolvable() {
         panic!("empty region must be refused");
     };
     assert!(matches!(err, SubscribeError::Unresolvable));
-    let served = rt.query(QuerySpec {
-        region,
-        kind: QueryKind::Snapshot(T_LATE),
-        approx: Approximation::Lower,
-    });
+    let served =
+        rt.query(QuerySpec::new(region, QueryKind::Snapshot(T_LATE), Approximation::Lower));
     assert!(served.miss, "the query path refuses the same region");
     assert_eq!(rt.subscription_stats().subscriptions, 0);
     rt.shutdown();

@@ -58,7 +58,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::channel::Sender;
@@ -115,6 +115,10 @@ pub enum UpdateCause {
     Delta,
     /// An epoch advance recomputed the bracket from the mirror.
     Resnapshot,
+    /// Delta pushes were shed for a while (runtime brownout); this is the
+    /// catch-up push carrying the current bracket, which absorbed every
+    /// suppressed delta in between.
+    Coalesced,
 }
 
 /// One pushed bracket change, delivered on the subscriber's channel.
@@ -191,6 +195,9 @@ pub struct RegistryStats {
     /// Events that arrived behind an edge watermark (counted toward totals
     /// but not toward trusted brackets — exactly like the shard dedup).
     pub late_ignored: u64,
+    /// Delta pushes suppressed while push shedding was on (the brackets
+    /// still moved; subscribers caught up via a `Coalesced` push).
+    pub pushes_shed: u64,
 }
 
 struct Subscription {
@@ -258,6 +265,11 @@ pub struct SubscriptionRegistry {
     deltas_applied: AtomicU64,
     resnapshots: AtomicU64,
     late_ignored: AtomicU64,
+    /// While set, per-event delta pushes are suppressed (brackets still
+    /// move under the lock, so correctness is untouched — only the push
+    /// fan-out cost is shed). Flipped by the runtime's brownout controller.
+    shed: AtomicBool,
+    pushes_shed: AtomicU64,
 }
 
 impl SubscriptionRegistry {
@@ -301,6 +313,8 @@ impl SubscriptionRegistry {
             deltas_applied: AtomicU64::new(0),
             resnapshots: AtomicU64::new(0),
             late_ignored: AtomicU64::new(0),
+            shed: AtomicBool::new(false),
+            pushes_shed: AtomicU64::new(0),
         }
     }
 
@@ -390,7 +404,9 @@ impl SubscriptionRegistry {
             return IngestObservation { deltas: 0, late: !accepted };
         };
         let epoch = inner.epoch;
+        let shedding = self.shed.load(Ordering::Relaxed);
         let mut deltas = 0usize;
+        let mut shed_now = 0u64;
         let mut dead: Vec<u64> = Vec::new();
         // `routes` and `subs` are disjoint fields, so the hot path walks the
         // route list in place — no per-event allocation.
@@ -415,6 +431,13 @@ impl SubscriptionRegistry {
             sub.bracket.deltas += 1;
             deltas += 1;
             if let Some(tx) = &sub.push {
+                if shedding {
+                    // Brownout: the bracket moved (so correctness holds) but
+                    // the per-event push is shed; a Coalesced push catches
+                    // the subscriber up when shedding lifts.
+                    shed_now += 1;
+                    continue;
+                }
                 let pushed = tx.send(BracketUpdate {
                     subscription: SubscriptionId(id),
                     epoch,
@@ -425,6 +448,9 @@ impl SubscriptionRegistry {
                     dead.push(id);
                 }
             }
+        }
+        if shed_now > 0 {
+            self.pushes_shed.fetch_add(shed_now, Ordering::Relaxed);
         }
         for id in dead {
             remove_sub(inner, id);
@@ -478,6 +504,54 @@ impl SubscriptionRegistry {
         }
         self.resnapshots.fetch_add(out.len() as u64, Ordering::Relaxed);
         out
+    }
+
+    /// Turns per-event delta-push shedding on or off (the runtime's
+    /// brownout controller drives this). While shedding, brackets keep
+    /// moving under the lock but nothing is pushed. Turning shedding *off*
+    /// pushes every push-attached subscription's current bracket once
+    /// (`cause == Coalesced`) so subscribers catch up on everything they
+    /// missed in one update; those updates are also returned. Turning it on
+    /// (or re-asserting the current state) returns nothing.
+    pub fn set_shed_pushes(&self, on: bool) -> Vec<BracketUpdate> {
+        // Under the inner lock so the flag flip is atomic with respect to
+        // in-flight `on_ingest` calls: no delta can race between the flag
+        // going false and the coalesced catch-up pushes below.
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let was = self.shed.swap(on, Ordering::Relaxed);
+        if on || !was {
+            return Vec::new();
+        }
+        let epoch = inner.epoch;
+        let mut out = Vec::new();
+        let mut dead: Vec<u64> = Vec::new();
+        let mut ids: Vec<u64> = inner.subs.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let sub = inner.subs.get(&id).expect("subscription present");
+            let Some(tx) = &sub.push else { continue };
+            let update = BracketUpdate {
+                subscription: SubscriptionId(id),
+                epoch,
+                bracket: sub.bracket,
+                cause: UpdateCause::Coalesced,
+            };
+            if tx.send(update).is_err() {
+                dead.push(id);
+            } else {
+                out.push(update);
+            }
+        }
+        for id in dead {
+            remove_sub(inner, id);
+        }
+        out
+    }
+
+    /// Whether per-event delta pushes are currently shed.
+    pub fn shedding_pushes(&self) -> bool {
+        self.shed.load(Ordering::Relaxed)
     }
 
     /// Installs a certified net-forward-flow interval `[lo, hi]` for a
@@ -548,6 +622,7 @@ impl SubscriptionRegistry {
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             resnapshots: self.resnapshots.load(Ordering::Relaxed),
             late_ignored: self.late_ignored.load(Ordering::Relaxed),
+            pushes_shed: self.pushes_shed.load(Ordering::Relaxed),
         }
     }
 }

@@ -57,8 +57,7 @@ fn main() {
     for (i, (region, t0, t1)) in
         scenario.make_queries(10, 0.08, 1_500.0, 17).into_iter().enumerate()
     {
-        let spec =
-            QuerySpec { region, kind: QueryKind::Transient(t0, t1), approx: Approximation::Lower };
+        let spec = QuerySpec::new(region, QueryKind::Transient(t0, t1), Approximation::Lower);
         // The synchronous single-threaded path the runtime must bracket.
         let covered = sampled.resolve_lower(&spec.region.junctions);
         if covered.is_empty() {

@@ -83,12 +83,13 @@ fn main() {
 
     // Drain one monitor's channel: a baseline, then pure deltas.
     let (h, region) = &monitors[0];
-    let mut counts = [0usize; 3];
+    let mut counts = [0usize; 4];
     while let Ok(u) = h.updates.try_recv() {
         match u.cause {
             UpdateCause::Registered => counts[0] += 1,
             UpdateCause::Delta => counts[1] += 1,
             UpdateCause::Resnapshot => counts[2] += 1,
+            UpdateCause::Coalesced => counts[3] += 1,
         }
     }
     println!(
@@ -99,11 +100,8 @@ fn main() {
     // The receipts: the maintained bracket equals re-execution bitwise, and
     // a forced re-snapshot epoch (crash-recovery's hand-off) changes nothing.
     let b = rt.standing_bracket(h.id).unwrap();
-    let served = rt.query(QuerySpec {
-        region: region.clone(),
-        kind: QueryKind::Snapshot(1.0e12),
-        approx: Approximation::Lower,
-    });
+    let served =
+        rt.query(QuerySpec::new(region.clone(), QueryKind::Snapshot(1.0e12), Approximation::Lower));
     assert_eq!(b.value.to_bits(), served.value.to_bits());
     assert_eq!(b.lower.to_bits(), served.lower.to_bits());
     assert_eq!(b.upper.to_bits(), served.upper.to_bits());

@@ -16,6 +16,43 @@ impl<T> std::fmt::Display for SendError<T> {
     }
 }
 
+/// Error returned by [`Sender::try_send`]; carries the unsent message back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for TrySendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySendError::Full(_) => write!(f, "sending on a full channel"),
+            TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
+/// Error returned by [`Sender::send_timeout`]; carries the unsent message
+/// back.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// No capacity freed up before the deadline.
+    Timeout(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> std::fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => write!(f, "timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+        }
+    }
+}
+
 /// Error returned by [`Receiver::recv`] when the channel is empty and every
 /// sender is gone.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -144,6 +181,59 @@ impl<T> Sender<T> {
         self.shared.not_empty.notify_one();
         Ok(())
     }
+
+    /// Non-blocking send: enqueues immediately or reports why it cannot.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        if st.receivers == 0 {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = self.shared.capacity {
+            if st.queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks up to `timeout` for a capacity slot.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            match self.shared.capacity {
+                Some(cap) if st.queue.len() >= cap => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                    let (guard, _) = self.shared.not_full.wait_timeout(st, deadline - now).unwrap();
+                    st = guard;
+                }
+                _ => break,
+            }
+        }
+        st.queue.push_back(value);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Receiver<T> {
@@ -257,6 +347,35 @@ mod tests {
         assert_eq!(t.join().unwrap(), "sent");
         assert_eq!(rx.recv().unwrap(), 2);
         assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn try_send_rejects_when_full_or_disconnected() {
+        let (tx, rx) = bounded(1);
+        assert_eq!(tx.try_send(1), Ok(()));
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx.try_send(2), Err(TrySendError::Full(2)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(tx.try_send(3), Ok(()));
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
+    }
+
+    #[test]
+    fn send_timeout_times_out_then_succeeds() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let err = tx.send_timeout(2, Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err, SendTimeoutError::Timeout(2));
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let v = rx.recv().unwrap();
+            (v, rx) // keep the receiver alive past the sender's retry
+        });
+        assert_eq!(tx.send_timeout(2, Duration::from_secs(5)), Ok(()));
+        let (v, rx) = t.join().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(rx.recv().unwrap(), 2);
     }
 
     #[test]
