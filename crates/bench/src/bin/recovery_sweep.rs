@@ -74,7 +74,7 @@ fn ingest_once(
     );
     let t0 = Instant::now();
     for &c in events {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
     let elapsed = t0.elapsed().as_secs_f64();
@@ -151,7 +151,7 @@ fn run_sweep_cell(
     };
     let rt = runtime(s, g, cfg);
     for &c in events {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
 
@@ -281,7 +281,7 @@ fn main() {
         RuntimeConfig { num_shards: NUM_SHARDS, ..RuntimeConfig::default() },
     );
     for &c in &sweep_stream {
-        rt_ref.ingest(c);
+        rt_ref.ingest(c).expect("ingest");
     }
     rt_ref.flush_ingest();
     let reference_digests = rt_ref.shard_digests();

@@ -147,7 +147,7 @@ fn run_seed(
     let start = Instant::now();
     for chunk in events.chunks(batch) {
         for &c in chunk {
-            rt.ingest(c);
+            rt.ingest(c).expect("ingest");
         }
         rt.flush_ingest();
         for (h, _) in &subs {
@@ -173,7 +173,7 @@ fn run_seed(
     let start = Instant::now();
     for chunk in events.chunks(batch) {
         for &c in chunk {
-            rt.ingest(c);
+            rt.ingest(c).expect("ingest");
         }
         rt.flush_ingest();
         let pending: Vec<_> = specs.iter().map(|spec| rt.submit(spec.clone())).collect();
@@ -195,7 +195,7 @@ fn run_seed(
     let mut mismatches = 0u64;
     for chunk in events.chunks(batch) {
         for &c in chunk {
-            rt.ingest(c);
+            rt.ingest(c).expect("ingest");
         }
         rt.flush_ingest();
         for pass in 0..2 {

@@ -25,7 +25,8 @@ use stq_forms::{EdgeHealth, Evidence, FormStore};
 use stq_mobility::stats::{population_curve, WorkloadStats};
 use stq_net::{ChaosConfig, CrashWindow, SensorFaultKind, SensorFaultMix, SensorFaultPlan};
 use stq_runtime::{
-    DurabilityConfig, OverloadConfig, QuerySpec, Runtime, RuntimeConfig, SubscribeError,
+    DurabilityConfig, OverloadConfig, QuerySpec, RebalanceConfig, Runtime, RuntimeConfig,
+    SubscribeError,
 };
 use stq_sampling::SamplingMethod;
 
@@ -130,7 +131,8 @@ COMMANDS:
                                                 --sync-every N --ingest N --kill SHARD:SEQ
                                                 --subscribe N --subscribe-area F
                                                 --impute 0|1 --overload 0|1
-                                                --deadline-ms MS]
+                                                --deadline-ms MS --rebalance 0|1
+                                                --batch N]
   recover    rebuild shard state from disk     [--wal-dir DIR --snapshot-every N
                                                 --sync-every N + deployment flags]
   audit      corrupt sensors, audit + repair   [--dead F --lossy F --dup-sensors F
@@ -497,6 +499,26 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
             if deadline_ms == Some(0) {
                 return Err(CliError::Usage("--deadline-ms must be at least 1".into()));
             }
+            // Load-aware shard rebalancing is opt-in: `--rebalance 1`
+            // swaps the static modulo edge→shard map for one that migrates
+            // hot edges between shards as crossing rates skew. `--batch N`
+            // streams ingestion in columnar batches of N events (one
+            // group-commit WAL frame per shard lane) instead of one event
+            // at a time.
+            let rebalance_on = match args.get::<u8>("rebalance", 0)? {
+                0 => false,
+                1 => true,
+                _ => return Err(CliError::Usage("--rebalance must be 0 or 1".into())),
+            };
+            let batch = args.get_opt::<usize>("batch")?;
+            if batch == Some(0) {
+                return Err(CliError::Usage("--batch must be at least 1".into()));
+            }
+            if batch.is_some() && ingest_n == 0 {
+                return Err(CliError::Usage(
+                    "--batch sizes ingest batches and needs --ingest".into(),
+                ));
+            }
             let cfg = RuntimeConfig {
                 num_shards: shards,
                 dispatchers,
@@ -509,6 +531,7 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     default_deadline: deadline_ms.map(std::time::Duration::from_millis),
                     ..OverloadConfig::default()
                 }),
+                rebalance: rebalance_on.then(RebalanceConfig::default),
                 ..RuntimeConfig::default()
             };
             let s = scenario_from(args)?;
@@ -577,15 +600,35 @@ pub fn run(args: &Args, out: &mut impl std::io::Write) -> Result<(), CliError> {
                     return Err(CliError::Usage("--ingest needs monitored links".into()));
                 }
                 let t0 = s.config.trajectory.duration;
-                for i in 0..ingest_n {
-                    rt.ingest(Crossing {
-                        time: t0 + 1.0 + i as f64 * 0.1,
-                        edge: monitored[i % monitored.len()],
-                        forward: i % 2 == 0,
-                    });
+                let event = |i: usize| Crossing {
+                    time: t0 + 1.0 + i as f64 * 0.1,
+                    edge: monitored[i % monitored.len()],
+                    forward: i % 2 == 0,
+                };
+                match batch {
+                    Some(bn) => {
+                        let events: Vec<Crossing> = (0..ingest_n).map(event).collect();
+                        for chunk in events.chunks(bn) {
+                            let report = rt.ingest_batch(chunk);
+                            debug_assert_eq!(report.rejected, 0);
+                        }
+                    }
+                    None => {
+                        for i in 0..ingest_n {
+                            rt.ingest(event(i)).expect("ingest");
+                        }
+                    }
                 }
                 let applied = rt.flush_ingest();
                 writeln!(out, "ingested {ingest_n} crossings (per-shard applied: {applied:?})")?;
+                if rebalance_on {
+                    writeln!(
+                        out,
+                        "rebalance: map epoch {}, shard loads {:?}",
+                        rt.map_epoch(),
+                        rt.shard_loads()
+                    )?;
+                }
             }
             if !handles.is_empty() {
                 writeln!(
@@ -1099,6 +1142,43 @@ mod tests {
             Args::parse(["serve", "--overload", "1", "--deadline-ms", "0"].map(String::from))
                 .unwrap();
         assert!(run(&args, &mut Vec::new()).is_err(), "a zero budget is a refusal");
+    }
+
+    #[test]
+    fn serve_with_batched_ingest_and_rebalance_reports() {
+        let out = run_cmd(&[
+            "serve",
+            "--junctions",
+            "100",
+            "--objects",
+            "20",
+            "--size",
+            "0.3",
+            "--queries",
+            "4",
+            "--shards",
+            "2",
+            "--ingest",
+            "300",
+            "--batch",
+            "64",
+            "--rebalance",
+            "1",
+        ]);
+        assert!(out.contains("ingested 300 crossings"), "{out}");
+        assert!(out.contains("rebalance: map epoch"), "report must carry the map line:\n{out}");
+    }
+
+    #[test]
+    fn serve_rebalance_and_batch_flag_validation() {
+        let args = Args::parse(["serve", "--rebalance", "2"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err(), "--rebalance takes 0|1");
+        let args =
+            Args::parse(["serve", "--ingest", "10", "--batch", "0"].map(String::from)).unwrap();
+        assert!(run(&args, &mut Vec::new()).is_err(), "a zero batch is a refusal");
+        let args = Args::parse(["serve", "--batch", "8"].map(String::from)).unwrap();
+        let err = run(&args, &mut Vec::new()).expect_err("--batch without --ingest is a refusal");
+        assert!(err.to_string().contains("--ingest"), "{err}");
     }
 
     #[test]

@@ -314,10 +314,20 @@ impl QueryEngine {
 
     /// Drops every cached plan. Call when the sampled graph this engine
     /// compiles against is replaced (quarantine demotion, failover reroute,
-    /// crash recovery).
+    /// crash recovery, shard-map migration).
     pub fn invalidate(&self) {
         self.cache.lock().expect("plan cache poisoned").map.clear();
         self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotone invalidation generation: bumped once per
+    /// [`invalidate`](Self::invalidate). Topology-changing protocols (crash recovery,
+    /// shard-map migration) use it as a cheap witness that the cache was
+    /// flushed atomically with their own epoch bump — a reader comparing
+    /// generations around an epoch read can tell whether a cached plan
+    /// could predate the change.
+    pub fn invalidation_generation(&self) -> u64 {
+        self.invalidations.load(Ordering::Acquire)
     }
 
     /// Cache accounting so far.

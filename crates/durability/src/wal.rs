@@ -123,6 +123,36 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Appends a batch of records as **one** length-prefixed frame: a single
+    /// header whose length is `k × PAYLOAD_LEN` and whose CRC covers the
+    /// concatenated payloads, followed by the `k` fixed-size payloads. The
+    /// batch's sequence numbers must continue the log contiguously.
+    ///
+    /// Replay is format-compatible with [`WalWriter::append`]: a
+    /// single-record frame is byte-identical to the classic record, and
+    /// [`replay_wal`] accepts any mix of frame sizes. A torn cut inside a
+    /// batch frame loses the whole frame — the group either commits or does
+    /// not, which is exactly the group-commit contract.
+    pub fn append_batch(&mut self, records: &[(u64, Crossing)]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(records.len() * PAYLOAD_LEN);
+        for &(seq, ref c) in records {
+            assert_eq!(seq, self.last_seq + 1, "WAL sequence must be contiguous");
+            payload.extend_from_slice(&encode_payload(seq, c));
+            self.last_seq = seq;
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        self.file.write_all(&header)?;
+        self.file.write_all(&payload)?;
+        self.written += (HEADER_LEN + payload.len()) as u64;
+        self.records += records.len() as u64;
+        Ok(())
+    }
+
     /// Flushes and marks everything written so far as durable. Returns the
     /// highest sequence number now guaranteed to survive a crash.
     pub fn sync(&mut self) -> std::io::Result<u64> {
@@ -219,11 +249,13 @@ pub fn replay_wal(path: &Path, base_seq: u64) -> std::io::Result<WalReplay> {
     let mut expected = base_seq + 1;
     let mut torn = false;
     let mut seq_break = false;
-    while off + HEADER_LEN <= bytes.len() {
+    'frames: while off + HEADER_LEN <= bytes.len() {
         let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
-        if len != PAYLOAD_LEN || off + HEADER_LEN + len > bytes.len() {
-            torn = true; // nonsense length or truncated payload
+        // A frame carries one or more fixed-size payloads (a group-commit
+        // batch writes them all behind a single header and checksum).
+        if len == 0 || len % PAYLOAD_LEN != 0 || off + HEADER_LEN + len > bytes.len() {
+            torn = true; // nonsense length or truncated frame
             break;
         }
         let payload = &bytes[off + HEADER_LEN..off + HEADER_LEN + len];
@@ -231,16 +263,23 @@ pub fn replay_wal(path: &Path, base_seq: u64) -> std::io::Result<WalReplay> {
             torn = true;
             break;
         }
-        let Some((seq, c)) = decode_payload(payload) else {
-            torn = true;
-            break;
-        };
-        if seq != expected {
-            seq_break = true; // valid record, wrong position: mid-log damage
-            break;
+        let frame_start = events.len();
+        for rec in payload.chunks_exact(PAYLOAD_LEN) {
+            let Some((seq, c)) = decode_payload(rec) else {
+                torn = true;
+                // The frame is all-or-nothing: `valid_bytes` stops before
+                // it, so none of its records may be trusted either.
+                events.truncate(frame_start);
+                break 'frames;
+            };
+            if seq != expected {
+                seq_break = true; // valid record, wrong position: mid-log damage
+                events.truncate(frame_start);
+                break 'frames;
+            }
+            events.push((seq, c));
+            expected += 1;
         }
-        events.push((seq, c));
-        expected += 1;
         off += HEADER_LEN + len;
     }
     if off < bytes.len() && !torn && !seq_break {
@@ -354,6 +393,33 @@ impl ShardDurability {
             return Ok(DurableMark { durable_seq: Some(durable), snapshotted: false });
         }
         Ok(DurableMark::default())
+    }
+
+    /// Group commit: appends `records` as one WAL frame (see
+    /// [`WalWriter::append_batch`]) and makes the whole batch durable with
+    /// a **single** sync — or a snapshot rollover when one is due. `forms`
+    /// is the shard's in-memory state *including* every record of the
+    /// batch. The batch always returns a durable sequence: the group either
+    /// commits as a unit or (on a crash mid-frame) is lost as a unit and
+    /// re-supplied by the server's redo buffer.
+    pub fn append_batch(
+        &mut self,
+        records: &[(u64, Crossing)],
+        forms: &HashMap<usize, TrackingForm>,
+    ) -> std::io::Result<DurableMark> {
+        if records.is_empty() {
+            return Ok(DurableMark::default());
+        }
+        self.wal.append_batch(records)?;
+        self.since_snapshot += records.len() as u64;
+        self.since_sync += records.len() as u64;
+        if self.since_snapshot >= self.snapshot_every {
+            self.snapshot_now(forms)?;
+            return Ok(DurableMark { durable_seq: Some(self.wal.last_seq()), snapshotted: true });
+        }
+        let durable = self.wal.sync()?;
+        self.since_sync = 0;
+        Ok(DurableMark { durable_seq: Some(durable), snapshotted: false })
     }
 
     /// Installs a snapshot of `forms` now and truncates the log.
@@ -515,6 +581,107 @@ mod tests {
         let mut w = WalWriter::create(&dir.join("wal.log"), 0).unwrap();
         w.append(1, &ev(1)).unwrap();
         let _ = w.append(3, &ev(3));
+    }
+
+    #[test]
+    fn batch_frames_replay_like_singles() {
+        let dir = tmpdir("batch");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        // Mixed framing: singles, a batch, more singles, another batch.
+        w.append(1, &ev(1)).unwrap();
+        w.append(2, &ev(2)).unwrap();
+        let batch: Vec<(u64, Crossing)> = (3..=7u64).map(|s| (s, ev(s))).collect();
+        w.append_batch(&batch).unwrap();
+        w.append(8, &ev(8)).unwrap();
+        let batch2: Vec<(u64, Crossing)> = (9..=12u64).map(|s| (s, ev(s))).collect();
+        w.append_batch(&batch2).unwrap();
+        w.sync().unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.events.len(), 12);
+        assert!(!r.torn && !r.seq_break);
+        assert_eq!(r.valid_bytes, r.file_bytes);
+        for (i, &(s, c)) in r.events.iter().enumerate() {
+            assert_eq!(s, i as u64 + 1);
+            assert_eq!(c, ev(s));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_record_batch_is_byte_identical_to_append() {
+        let dir = tmpdir("batch-one");
+        let single = dir.join("single.log");
+        let batched = dir.join("batched.log");
+        let mut w = WalWriter::create(&single, 0).unwrap();
+        w.append(1, &ev(1)).unwrap();
+        w.sync().unwrap();
+        let mut w = WalWriter::create(&batched, 0).unwrap();
+        w.append_batch(&[(1, ev(1))]).unwrap();
+        w.sync().unwrap();
+        assert_eq!(std::fs::read(&single).unwrap(), std::fs::read(&batched).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_batch_frame_is_lost_as_a_unit() {
+        let dir = tmpdir("batch-torn");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        w.append(1, &ev(1)).unwrap();
+        let batch: Vec<(u64, Crossing)> = (2..=6u64).map(|s| (s, ev(s))).collect();
+        w.append_batch(&batch).unwrap();
+        w.sync().unwrap();
+        // Cut inside the batch frame: keep the single record plus the batch
+        // header and 2.5 payloads.
+        let keep = RECORD_LEN + HEADER_LEN as u64 + 2 * PAYLOAD_LEN as u64 + 12;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(keep).unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert_eq!(r.events.len(), 1, "the torn frame must not contribute any record");
+        assert_eq!(r.valid_bytes, RECORD_LEN);
+        assert!(r.torn);
+        assert!(!r.seq_break);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_bit_flip_drops_the_whole_frame() {
+        let dir = tmpdir("batch-flip");
+        let path = dir.join("wal.log");
+        let mut w = WalWriter::create(&path, 0).unwrap();
+        let batch: Vec<(u64, Crossing)> = (1..=4u64).map(|s| (s, ev(s))).collect();
+        w.append_batch(&batch).unwrap();
+        w.sync().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let victim = HEADER_LEN + 3 * PAYLOAD_LEN + 5; // last payload in the frame
+        bytes[victim] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = replay_wal(&path, 0).unwrap();
+        assert!(r.events.is_empty(), "one flipped byte poisons the frame's single CRC");
+        assert!(r.torn);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn batch_sequence_jump_rejected_at_append() {
+        let dir = tmpdir("batch-jump");
+        let mut w = WalWriter::create(&dir.join("wal.log"), 0).unwrap();
+        let _ = w.append_batch(&[(1, ev(1)), (3, ev(3))]);
+    }
+
+    #[test]
+    fn durability_batch_is_durable_after_one_call() {
+        let dir = tmpdir("batch-durable");
+        let forms: HashMap<usize, TrackingForm> = HashMap::new();
+        let mut d = ShardDurability::initialize(&dir, 0, &forms, 0, 1_000_000, 1_000_000).unwrap();
+        let batch: Vec<(u64, Crossing)> = (1..=10u64).map(|s| (s, ev(s))).collect();
+        let mark = d.append_batch(&batch, &forms).unwrap();
+        assert_eq!(mark.durable_seq, Some(10), "group commit publishes the batch's tail");
+        assert!(!mark.snapshotted);
+        assert_eq!(d.unsynced_bytes(), 0, "the single sync covered the whole frame");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

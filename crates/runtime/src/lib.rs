@@ -4,12 +4,18 @@
 //! machinery — the "in-network system" of §4.6 as an actual multi-threaded
 //! dataflow instead of a cost formula.
 //!
-//! - **Sharded edge stores** — the per-edge [`stq_forms::TrackingForm`]s are
-//!   partitioned across worker threads (edge `e` on shard `e % N`). A query
-//!   resolves its region once, fans its boundary edges out to the owning
-//!   shards over channels, and re-folds the per-edge contributions in
-//!   boundary order, making full-coverage answers bit-identical to the
-//!   synchronous [`stq_core::query::evaluate`] path.
+//! - **Sharded edge stores behind a [`ShardMap`]** — the per-edge
+//!   [`stq_forms::TrackingForm`]s are partitioned across worker threads
+//!   (initially edge `e` on shard `e % N`; a [`LoadAwareMap`] migrates hot
+//!   edges between shards as crossing rates skew). A query resolves its
+//!   region once, fans its boundary edges out to the owning shards over
+//!   channels, and re-folds the per-edge contributions in boundary order,
+//!   making full-coverage answers bit-identical to the synchronous
+//!   [`stq_core::query::evaluate`] path.
+//! - **Columnar batched ingest** — [`Runtime::ingest_batch`] groups events
+//!   into per-shard columnar lanes and group-commits each lane as one WAL
+//!   frame with a single sync, bit-identical in effect to the per-event
+//!   [`Runtime::ingest`] path.
 //! - **Fault injection and graceful degradation** — a seeded
 //!   [`stq_net::FaultPlan`] drops, delays, and duplicates shard traffic and
 //!   crashes shards on schedule; the aggregator retries with exponential
@@ -47,15 +53,17 @@ pub mod metrics;
 pub mod overload;
 pub mod server;
 mod shard;
+pub mod shardmap;
 mod supervisor;
 
 pub use metrics::{Histogram, Metrics, MetricsReport, QueryTrace, SubscriptionTrace};
 pub use overload::{BreakerConfig, BrownoutConfig, OverloadConfig, Rejected, MAX_BROWNOUT_LEVEL};
 pub use server::{
-    DurabilityConfig, PendingAnswer, QuerySpec, Runtime, RuntimeConfig, ServedAnswer,
-    SubscriptionHandle,
+    DurabilityConfig, IngestError, IngestReport, PendingAnswer, QuerySpec, Runtime, RuntimeConfig,
+    ServedAnswer, SubscriptionHandle,
 };
 pub use shard::ShardHealth;
+pub use shardmap::{LoadAwareMap, Migration, ModuloMap, RebalanceConfig, ShardMap};
 pub use stq_net::{
     ChaosBuilder, ChaosConfig, ChaosError, CrashWindow, DurabilityFaultPlan, FaultDecision,
     FaultPlan, IngestCrash, MessageCtx, SensorFault, SensorFaultKind, SensorFaultMix,

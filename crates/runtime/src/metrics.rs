@@ -169,8 +169,16 @@ pub struct Metrics {
     /// Crossings ingested by shard workers (deduplicated redo deliveries
     /// excluded).
     pub ingested: AtomicU64,
+    /// Events `ingest`/`ingest_batch` refused (unknown edge or non-finite
+    /// timestamp) — counted instead of panicking the caller.
+    pub ingest_rejected: AtomicU64,
+    /// Columnar batches dispatched through `ingest_batch`.
+    pub ingest_batches: AtomicU64,
     /// Records appended to shard write-ahead logs.
     pub wal_appends: AtomicU64,
+    /// Group-commit WAL frames written (one per shard lane per batch; each
+    /// frame is one header + one sync for its whole record group).
+    pub wal_group_commits: AtomicU64,
     /// Snapshot rollovers (snapshot installed, WAL truncated).
     pub snapshots_taken: AtomicU64,
     /// WAL records replayed during crash recovery.
@@ -182,6 +190,15 @@ pub struct Metrics {
     pub lost_events: AtomicU64,
     /// Worker threads respawned by the supervisor.
     pub shard_respawns: AtomicU64,
+    /// Committed shard-map migration batches (load-aware rebalances).
+    pub rebalances: AtomicU64,
+    /// Edges moved between shards across all committed migrations.
+    pub edges_migrated: AtomicU64,
+    /// Migration batches aborted before commit (an involved shard was
+    /// unhealthy or failed to quiesce; routing stayed unchanged).
+    pub rebalance_aborted: AtomicU64,
+    /// Gauge: the shard map's current epoch (0 until the first migration).
+    pub map_epoch: AtomicU64,
     /// Workers that escalated after consecutive panicked requests.
     pub escalations: AtomicU64,
     /// Shard fan-outs skipped because the shard was unhealthy or recovering
@@ -332,12 +349,19 @@ impl Metrics {
             late_dropped: load(&self.late_dropped),
             dup_crossings: load(&self.dup_crossings),
             ingested: load(&self.ingested),
+            ingest_rejected: load(&self.ingest_rejected),
+            ingest_batches: load(&self.ingest_batches),
             wal_appends: load(&self.wal_appends),
+            wal_group_commits: load(&self.wal_group_commits),
             snapshots_taken: load(&self.snapshots_taken),
             wal_replayed: load(&self.wal_replayed),
             redo_replayed: load(&self.redo_replayed),
             lost_events: load(&self.lost_events),
             shard_respawns: load(&self.shard_respawns),
+            rebalances: load(&self.rebalances),
+            edges_migrated: load(&self.edges_migrated),
+            rebalance_aborted: load(&self.rebalance_aborted),
+            map_epoch: load(&self.map_epoch),
             escalations: load(&self.escalations),
             skipped_unhealthy: load(&self.skipped_unhealthy),
             recovering: load(&self.recovering),
@@ -418,8 +442,14 @@ pub struct MetricsReport {
     pub dup_crossings: u64,
     /// See [`Metrics::ingested`].
     pub ingested: u64,
+    /// See [`Metrics::ingest_rejected`].
+    pub ingest_rejected: u64,
+    /// See [`Metrics::ingest_batches`].
+    pub ingest_batches: u64,
     /// See [`Metrics::wal_appends`].
     pub wal_appends: u64,
+    /// See [`Metrics::wal_group_commits`].
+    pub wal_group_commits: u64,
     /// See [`Metrics::snapshots_taken`].
     pub snapshots_taken: u64,
     /// See [`Metrics::wal_replayed`].
@@ -430,6 +460,14 @@ pub struct MetricsReport {
     pub lost_events: u64,
     /// See [`Metrics::shard_respawns`].
     pub shard_respawns: u64,
+    /// See [`Metrics::rebalances`].
+    pub rebalances: u64,
+    /// See [`Metrics::edges_migrated`].
+    pub edges_migrated: u64,
+    /// See [`Metrics::rebalance_aborted`].
+    pub rebalance_aborted: u64,
+    /// See [`Metrics::map_epoch`] (gauge at snapshot time).
+    pub map_epoch: u64,
     /// See [`Metrics::escalations`].
     pub escalations: u64,
     /// See [`Metrics::skipped_unhealthy`].
@@ -527,6 +565,11 @@ impl fmt::Display for MetricsReport {
         )?;
         writeln!(
             f,
+            "ingest: rejected {}, batches {}, group commits {}",
+            self.ingest_rejected, self.ingest_batches, self.wal_group_commits
+        )?;
+        writeln!(
+            f,
             "supervision: respawns {}, escalations {}, wal replayed {}, redo replayed {}, \
              lost events {}, skipped unhealthy {}, recovering {}",
             self.shard_respawns,
@@ -536,6 +579,11 @@ impl fmt::Display for MetricsReport {
             self.lost_events,
             self.skipped_unhealthy,
             self.recovering
+        )?;
+        writeln!(
+            f,
+            "rebalance: migrations {}, edges moved {}, aborted {}, map epoch {}",
+            self.rebalances, self.edges_migrated, self.rebalance_aborted, self.map_epoch
         )?;
         writeln!(
             f,

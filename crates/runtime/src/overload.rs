@@ -430,6 +430,20 @@ impl OverloadState {
     }
 
     /// Returns a reservation made by [`Self::try_admit`].
+    /// Reserves gate capacity for a batch of ingested events (one
+    /// milli-unit per event — ingest is orders of magnitude cheaper than a
+    /// query) so a write flood shows up as admission pressure on reads
+    /// instead of invisibly starving them. Never rejects; hand the
+    /// reservation back via [`Self::release`] once the batch is dispatched.
+    pub(crate) fn charge_ingest(&self, events: usize) -> u64 {
+        if !self.cfg.max_inflight_cost.is_finite() || events == 0 {
+            return 0;
+        }
+        let milli = events as u64;
+        self.inflight_milli.fetch_add(milli, Ordering::Relaxed);
+        milli
+    }
+
     pub(crate) fn release(&self, milli: u64) {
         if milli > 0 {
             self.inflight_milli.fetch_sub(milli, Ordering::Relaxed);

@@ -49,7 +49,7 @@ use stq_core::query::{Approximation, QueryKind, QueryRegion};
 use stq_core::sampled::SampledGraph;
 use stq_core::sensing::SensingGraph;
 use stq_core::tracker::Crossing;
-use stq_forms::{BoundaryEdge, FormStore, TrackingForm};
+use stq_forms::{BoundaryEdge, ColumnarBatch, FormStore, TrackingForm};
 use stq_net::{DurabilityFaultPlan, FaultPlan};
 use stq_subscribe::{
     BracketUpdate, RegistryStats, StandingBracket, SubscribeError, SubscriptionId,
@@ -59,6 +59,7 @@ use stq_subscribe::{
 use crate::metrics::{Metrics, QueryTrace, SubscriptionTrace};
 use crate::overload::{stride_for, Gate, OverloadConfig, OverloadState, Rejected, Transition};
 use crate::shard::{EdgeCounts, ShardHealth, ShardMsg, ShardRequest, ShardResponse, HEALTHY};
+use crate::shardmap::{LoadAwareMap, ModuloMap, RebalanceConfig, ShardMap};
 use crate::supervisor::{IngestLane, Supervisor, SupervisorMsg};
 
 /// How often a waiting aggregator re-checks shard health, so a worker dying
@@ -138,6 +139,12 @@ pub struct RuntimeConfig {
     /// behavior: `submit` blocks on a full queue and serves at full
     /// precision regardless of load.
     pub overload: Option<OverloadConfig>,
+    /// Load-aware shard rebalancing (see [`crate::shardmap`]). `None` (the
+    /// default) keeps the static modulo edge→shard assignment; `Some`
+    /// installs a [`LoadAwareMap`] that tracks per-edge crossing rates and
+    /// migrates hot edge ranges between shards when the imbalance trigger
+    /// fires.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -154,8 +161,55 @@ impl Default for RuntimeConfig {
             plan_cache: 256,
             degraded: None,
             overload: None,
+            rebalance: None,
         }
     }
+}
+
+/// Why [`Runtime::ingest`] refused an event. Rejections are counted in
+/// [`crate::metrics::Metrics::ingest_rejected`] and never reach a shard,
+/// the WAL, or the subscription registry — a malformed event from one
+/// client must not poison shared state or kill the server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum IngestError {
+    /// The edge index is outside the deployment (`edge >= num_edges`).
+    UnknownEdge {
+        /// The offending edge index.
+        edge: usize,
+        /// The deployment's edge count.
+        num_edges: usize,
+    },
+    /// The crossing timestamp is NaN or infinite.
+    NonFiniteTime {
+        /// The edge the malformed event addressed.
+        edge: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            IngestError::UnknownEdge { edge, num_edges } => {
+                write!(f, "ingest for unknown edge {edge} (deployment has {num_edges})")
+            }
+            IngestError::NonFiniteTime { edge } => {
+                write!(f, "crossing time on edge {edge} must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What [`Runtime::ingest_batch`] did with a batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Events validated and dispatched to their shards.
+    pub accepted: usize,
+    /// Events refused by validation (counted in `ingest_rejected`).
+    pub rejected: usize,
+    /// Distinct shard lanes the batch fanned out to.
+    pub lanes: usize,
 }
 
 /// One query to serve.
@@ -295,6 +349,10 @@ struct ServerState {
     /// can never observe each other half-updated.
     totals: Arc<Vec<[AtomicU64; 2]>>,
     cfg: RuntimeConfig,
+    /// The edge→shard routing map every layer shares: dispatchers and
+    /// ingest read it, the supervisor commits migrations into it. Its epoch
+    /// is the witness all layers agree on after a migration.
+    map: Arc<dyn ShardMap>,
     to_shards: Vec<Sender<ShardMsg>>,
     lanes: Arc<Vec<Mutex<IngestLane>>>,
     health: Arc<Vec<AtomicU8>>,
@@ -341,9 +399,10 @@ pub struct Runtime {
 
 impl Runtime {
     /// Builds the runtime: partitions `store`'s per-edge tracking forms
-    /// across `cfg.num_shards` worker threads (edge `e` lives on shard
-    /// `e % num_shards`), starts the dispatcher pool, and puts every worker
-    /// under supervision.
+    /// across `cfg.num_shards` worker threads per the shard map (initially
+    /// edge `e` lives on shard `e % num_shards`; with
+    /// [`RuntimeConfig::rebalance`] set, hot edges migrate later), starts
+    /// the dispatcher pool, and puts every worker under supervision.
     pub fn new(
         sensing: SensingGraph,
         sampled: SampledGraph,
@@ -378,15 +437,6 @@ impl Runtime {
         };
 
         let ns = cfg.num_shards;
-        let mut parts: Vec<HashMap<usize, TrackingForm>> =
-            (0..ns).map(|_| HashMap::new()).collect();
-        let mut bad: Vec<HashSet<usize>> = (0..ns).map(|_| HashSet::new()).collect();
-        for &e in quarantined {
-            bad[e % ns].insert(e);
-        }
-        for e in 0..store.num_edges() {
-            parts[e % ns].insert(e, store.form(e).clone());
-        }
         // The registry derives the lifetime totals (shared here for the
         // aggregator's degradation bounds), the applied-count mirror and the
         // per-direction watermarks from the same store the shards start on.
@@ -397,6 +447,23 @@ impl Runtime {
             quarantined.iter().copied(),
         ));
         let totals = Arc::clone(subs.totals());
+
+        // The shard map starts with the modulo assignment either way, so a
+        // fresh runtime is bit-identical under both; the load-aware variant
+        // reuses the registry's lifetime totals as its crossing-rate feed.
+        let map: Arc<dyn ShardMap> = match cfg.rebalance.clone() {
+            Some(rc) => Arc::new(LoadAwareMap::new(ns, Arc::clone(&totals), rc)),
+            None => Arc::new(ModuloMap::new(ns)),
+        };
+        let mut parts: Vec<HashMap<usize, TrackingForm>> =
+            (0..ns).map(|_| HashMap::new()).collect();
+        let mut bad: Vec<HashSet<usize>> = (0..ns).map(|_| HashSet::new()).collect();
+        for &e in quarantined {
+            bad[map.shard_of(e)].insert(e);
+        }
+        for e in 0..store.num_edges() {
+            parts[map.shard_of(e)].insert(e, store.form(e).clone());
+        }
 
         let mut to_shards = Vec::with_capacity(ns);
         let mut receivers = Vec::with_capacity(ns);
@@ -416,9 +483,10 @@ impl Runtime {
         // Bounded supervisor inbox: each shard has at most one unprocessed
         // exit event at a time (the supervisor respawns a worker before
         // draining the next event, so a shard cannot enqueue a second exit
-        // until its first was handled), plus one shutdown message — 2×ns+2
-        // leaves slack for both without ever blocking a dying worker.
-        let (events_tx, events_rx) = channel::bounded::<SupervisorMsg>(2 * ns + 2);
+        // until its first was handled), plus one shutdown message and a
+        // couple of in-flight migration requests — 2×ns+4 leaves slack for
+        // all of them without ever blocking a dying worker.
+        let (events_tx, events_rx) = channel::bounded::<SupervisorMsg>(2 * ns + 4);
         let supervisor = Supervisor::start(
             parts,
             bad,
@@ -432,6 +500,8 @@ impl Runtime {
             Arc::clone(&metrics),
             Arc::clone(&engine),
             Arc::clone(&subs),
+            Arc::clone(&map),
+            to_shards.clone(),
             events_tx.clone(),
         );
         let supervisor_thread = std::thread::Builder::new()
@@ -446,6 +516,7 @@ impl Runtime {
             sampled,
             totals,
             cfg: cfg.clone(),
+            map,
             to_shards,
             lanes,
             health,
@@ -625,14 +696,16 @@ impl Runtime {
     /// event's bracket deltas in the same step (the event-driven push path:
     /// standing answers are fresh the moment `ingest` returns, without any
     /// re-execution).
-    pub fn ingest(&self, c: Crossing) {
+    ///
+    /// A malformed event (unknown edge, non-finite timestamp) is refused
+    /// with an [`IngestError`] before touching any shared state; refusals
+    /// are counted in the `ingest_rejected` metric.
+    pub fn ingest(&self, c: Crossing) -> Result<(), IngestError> {
         let st = self.state.as_ref().expect("runtime is running");
-        assert!(c.edge < st.totals.len(), "ingest for unknown edge {}", c.edge);
-        assert!(c.time.is_finite(), "crossing time must be finite");
+        check_event(st, &c)?;
         // The degraded answerer's brackets are certified against the
         // construction-time store; any new event invalidates them.
         st.deg_dirty.store(true, Ordering::Release);
-        let shard = c.edge % st.cfg.num_shards;
         // Routes the event through the registry: bumps the lifetime totals
         // (inside the registry lock) and delta-pushes affected brackets.
         let push_t0 = Instant::now();
@@ -641,17 +714,145 @@ impl Runtime {
             st.metrics.delta_push_latency.record(push_t0.elapsed().as_micros() as u64);
             Metrics::add(&st.metrics.deltas_pushed, obs.deltas as u64);
         }
-        // The lane lock covers sequence assignment AND the channel send, so
-        // sequences arrive at the worker in order.
-        let mut lane = st.lanes[shard].lock();
-        let durable = st.durable_seq[shard].load(Ordering::Acquire);
-        while lane.buf.front().is_some_and(|&(s, _)| s <= durable) {
-            lane.buf.pop_front();
+        dispatch_one(st, c);
+        self.maybe_rebalance(st);
+        Ok(())
+    }
+
+    /// Streams a batch of events, grouped into per-shard columnar lanes and
+    /// WAL-appended as one group-commit frame per lane (a single sync for
+    /// the whole lane instead of one per record). Semantically equivalent
+    /// to calling [`Runtime::ingest`] once per event in order — shard
+    /// states, recovery digests, totals, and standing brackets come out
+    /// bit-identical — but malformed events are skipped (and counted)
+    /// instead of failing the batch.
+    pub fn ingest_batch(&self, events: &[Crossing]) -> IngestReport {
+        let st = self.state.as_ref().expect("runtime is running");
+        if events.is_empty() {
+            return IngestReport::default();
         }
-        lane.next_seq += 1;
-        let seq = lane.next_seq;
-        lane.buf.push_back((seq, c));
-        let _ = st.to_shards[shard].send(ShardMsg::Ingest { seq, event: c });
+        let mut valid: Vec<Crossing> = Vec::with_capacity(events.len());
+        for &c in events {
+            if check_event(st, &c).is_ok() {
+                valid.push(c);
+            }
+        }
+        let rejected = events.len() - valid.len();
+        if valid.is_empty() {
+            return IngestReport { accepted: 0, rejected, lanes: 0 };
+        }
+        st.deg_dirty.store(true, Ordering::Release);
+        // One registry lock for the whole batch: totals and standing
+        // brackets advance event by event in input order, exactly as the
+        // sequential path would.
+        let push_t0 = Instant::now();
+        let obs = st.subs.on_ingest_batch(&valid);
+        if obs.deltas > 0 {
+            st.metrics.delta_push_latency.record(push_t0.elapsed().as_micros() as u64);
+            Metrics::add(&st.metrics.deltas_pushed, obs.deltas as u64);
+        }
+        // Ingest pressure surfaces on the read-side admission gate while
+        // the batch is in flight, so a write flood degrades reads honestly
+        // instead of invisibly starving them.
+        let charged = st.overload.as_ref().map_or(0, |ov| ov.charge_ingest(valid.len()));
+        // Group by owning shard into columnar lanes. Per-edge event order
+        // is preserved: an edge maps to exactly one shard at a time, and
+        // within a lane events keep input order.
+        let mut lanes_by_shard: HashMap<usize, ColumnarBatch> = HashMap::new();
+        for &c in &valid {
+            lanes_by_shard
+                .entry(st.map.shard_of(c.edge))
+                .or_default()
+                .push(c.edge, c.forward, c.time);
+        }
+        let mut shards: Vec<usize> = lanes_by_shard.keys().copied().collect();
+        shards.sort_unstable();
+        let lanes_used = shards.len();
+        for shard in shards {
+            let lane_batch = lanes_by_shard.remove(&shard).expect("grouped lane");
+            // A migration may have re-routed some of the lane's edges
+            // between grouping and the lane lock: dispatch the still-owned
+            // prefix set as one batch and detour the moved rest through the
+            // per-event path (which re-reads the map under the lock).
+            let mut moved: Vec<Crossing> = Vec::new();
+            {
+                let mut lane = st.lanes[shard].lock();
+                let mut own = ColumnarBatch::with_capacity(lane_batch.len());
+                for (edge, forward, time) in lane_batch.iter() {
+                    if st.map.shard_of(edge) == shard {
+                        own.push(edge, forward, time);
+                    } else {
+                        moved.push(Crossing { edge, forward, time });
+                    }
+                }
+                if !own.is_empty() {
+                    let durable = st.durable_seq[shard].load(Ordering::Acquire);
+                    while lane.buf.front().is_some_and(|&(s, _)| s <= durable) {
+                        lane.buf.pop_front();
+                    }
+                    let first_seq = lane.next_seq + 1;
+                    for (edge, forward, time) in own.iter() {
+                        lane.next_seq += 1;
+                        let seq = lane.next_seq;
+                        lane.buf.push_back((seq, Crossing { edge, forward, time }));
+                    }
+                    st.map.record_route(shard, own.len() as u64);
+                    let _ =
+                        st.to_shards[shard].send(ShardMsg::IngestBatch { first_seq, lane: own });
+                }
+            }
+            for c in moved {
+                dispatch_one(st, c);
+            }
+        }
+        Metrics::bump(&st.metrics.ingest_batches);
+        if let Some(ov) = st.overload.as_ref() {
+            ov.release(charged);
+        }
+        self.maybe_rebalance(st);
+        IngestReport { accepted: valid.len(), rejected, lanes: lanes_used }
+    }
+
+    /// Fires the load-aware rebalance check after an ingest step.
+    fn maybe_rebalance(&self, st: &ServerState) {
+        if st.map.rebalance_due() {
+            self.rebalance_now();
+        }
+    }
+
+    /// Plans and executes one load-aware rebalance round through the
+    /// supervisor (which serializes it against crash recoveries). Returns
+    /// the number of edges migrated — 0 when the map has no rebalancing
+    /// (modulo), the plan is empty, or the migration aborted.
+    pub fn rebalance_now(&self) -> usize {
+        let st = self.state.as_ref().expect("runtime is running");
+        let moves = st.map.plan_rebalance();
+        if moves.is_empty() {
+            return 0;
+        }
+        let Some(tx) = self.supervisor_tx.as_ref() else { return 0 };
+        let (done_tx, done_rx) = channel::bounded(1);
+        if tx.send(SupervisorMsg::Migrate { moves, done: done_tx }).is_err() {
+            return 0;
+        }
+        match done_rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(outcome) if outcome.committed => outcome.edges_moved,
+            _ => 0,
+        }
+    }
+
+    /// Cumulative events routed to each shard by the shard map — the
+    /// imbalance witness benchmarks compute `max/mean − 1` from.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.state.as_ref().expect("runtime is running").map.loads()
+    }
+
+    /// The shard map's migration epoch: 0 until the first committed
+    /// migration, then incremented once per commit. Every layer (ingest,
+    /// dispatch, recovery, subscription re-snapshot) observes a commit at
+    /// the same point in its event order.
+    pub fn map_epoch(&self) -> u64 {
+        self.state.as_ref().expect("runtime is running").map.epoch()
     }
 
     /// Barrier: waits until every shard has applied all previously ingested
@@ -847,6 +1048,48 @@ impl Runtime {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// Validates one event against the deployment; refusals bump the
+/// `ingest_rejected` counter so operators can see malformed traffic.
+fn check_event(st: &ServerState, c: &Crossing) -> Result<(), IngestError> {
+    let err = if c.edge >= st.totals.len() {
+        IngestError::UnknownEdge { edge: c.edge, num_edges: st.totals.len() }
+    } else if !c.time.is_finite() {
+        IngestError::NonFiniteTime { edge: c.edge }
+    } else {
+        return Ok(());
+    };
+    Metrics::bump(&st.metrics.ingest_rejected);
+    Err(err)
+}
+
+/// Sequence-stamps one validated event and sends it to its owning shard.
+///
+/// The lane lock covers the map re-read, trim, sequence assignment, redo
+/// push, AND the channel send, so sequences arrive at the worker in order.
+/// The re-read makes routing race-free against migrations: a migration
+/// commits its new assignment while holding the involved lane locks, so a
+/// map read under a lane lock that still routes here is current — on a
+/// mismatch we simply retry against the new owner.
+fn dispatch_one(st: &ServerState, c: Crossing) {
+    loop {
+        let shard = st.map.shard_of(c.edge);
+        let mut lane = st.lanes[shard].lock();
+        if st.map.shard_of(c.edge) != shard {
+            continue; // migrated between the read and the lock; re-route
+        }
+        let durable = st.durable_seq[shard].load(Ordering::Acquire);
+        while lane.buf.front().is_some_and(|&(s, _)| s <= durable) {
+            lane.buf.pop_front();
+        }
+        lane.next_seq += 1;
+        let seq = lane.next_seq;
+        lane.buf.push_back((seq, c));
+        st.map.record_route(shard, 1);
+        let _ = st.to_shards[shard].send(ShardMsg::Ingest { seq, event: c });
+        return;
     }
 }
 
@@ -1072,10 +1315,9 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
     // Fan out: group the served boundary edges by owning shard, tagged with
     // their position in the chain so the aggregate fold preserves term
     // order.
-    let ns = st.cfg.num_shards;
     let mut pending: HashMap<usize, Vec<(usize, BoundaryEdge)>> = HashMap::new();
     for (idx, be) in plan.shed_boundary(stride_for(level)) {
-        pending.entry(be.edge % ns).or_default().push((idx, be));
+        pending.entry(st.map.shard_of(be.edge)).or_default().push((idx, be));
     }
     let fanout = pending.len();
     let mut slots: Vec<Option<EdgeCounts>> = vec![None; boundary.len()];
@@ -1170,6 +1412,13 @@ fn compute(st: &ServerState, id: u64, spec: &QuerySpec, start: Instant) -> Serve
                         refused_total += resp.refused.len();
                         for c in resp.counts {
                             slots[c.idx] = Some(c);
+                        }
+                        // Edges a migration moved away from the responding
+                        // shard mid-query re-enter the fan-out keyed by
+                        // their current owner; a later attempt serves them
+                        // there (or they degrade soundly at exhaustion).
+                        for (idx, be) in resp.moved {
+                            pending.entry(st.map.shard_of(be.edge)).or_default().push((idx, be));
                         }
                         if let Some(ov) = st.overload.as_ref() {
                             record_transition(st, ov.breakers.success(resp.shard));

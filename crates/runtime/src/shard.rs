@@ -28,7 +28,7 @@ use stq_core::query::QueryKind;
 use stq_core::tracker::Crossing;
 use stq_durability::recovery::apply_crossing;
 use stq_durability::{state_digest, ShardDurability};
-use stq_forms::{BoundaryEdge, TrackingForm};
+use stq_forms::{BoundaryEdge, ColumnarBatch, TrackingForm};
 use stq_net::{DurabilityFaultPlan, FaultPlan, MessageCtx};
 
 use crate::metrics::Metrics;
@@ -67,11 +67,30 @@ pub(crate) enum ShardMsg {
     Query(ShardRequest),
     /// Apply one ingested crossing (WAL-logged when durability is on).
     Ingest { seq: u64, event: Crossing },
+    /// Apply a columnar lane of crossings with contiguous sequences starting
+    /// at `first_seq`, group-committed as one WAL frame when durability is
+    /// on.
+    IngestBatch { first_seq: u64, lane: ColumnarBatch },
     /// Sync the WAL and reply with the highest applied sequence — the
     /// barrier tests and benchmarks use to line states up.
     Flush(Sender<u64>),
     /// Reply with `(shard, state_digest)` of the in-memory forms.
     Digest(Sender<(usize, u64)>),
+    /// Hand the worker's entire state back to the supervisor and exit: the
+    /// quiesce step of a shard-map migration. Because the channel is FIFO,
+    /// receiving `Retire` proves every previously sent ingest has been
+    /// applied — no separate flush barrier is needed.
+    Retire(Sender<RetiredState>),
+}
+
+/// Everything a retiring worker owns, handed to the supervisor so it can
+/// move edge forms between shards and respawn.
+pub(crate) struct RetiredState {
+    pub forms: HashMap<usize, TrackingForm>,
+    pub quarantined: HashSet<usize>,
+    pub durability: Option<ShardDurability>,
+    pub last_seq: u64,
+    pub delivered: u64,
 }
 
 /// A fan-out request: the boundary edges of one query that this shard owns,
@@ -96,6 +115,10 @@ pub(crate) struct ShardResponse {
     /// Boundary positions this shard refused to serve because the edge is
     /// quarantined by the integrity auditor.
     pub refused: Vec<usize>,
+    /// Boundary edges this shard no longer owns — a shard-map migration
+    /// moved them while the request was in flight. The aggregator re-routes
+    /// them to their current owner.
+    pub moved: Vec<(usize, BoundaryEdge)>,
     /// The worker panicked while computing; `counts` is empty. The
     /// aggregator treats this as a failed attempt (retryable), not data.
     pub panicked: bool,
@@ -124,6 +147,10 @@ pub(crate) enum WorkerExit {
     /// A scheduled durability fault killed the process mid-ingest (the WAL
     /// tail was cut per the fault plan).
     Killed,
+    /// The worker handed its state to the supervisor for a shard-map
+    /// migration. Not reported upward — the supervisor already holds the
+    /// retired state and respawns the shard itself.
+    Retired,
 }
 
 /// Construction parameters of one worker (the supervisor builds these both
@@ -205,11 +232,38 @@ impl ShardWorker {
                         return (WorkerExit::Killed, self.delivered);
                     }
                 }
+                ShardMsg::IngestBatch { first_seq, lane } => {
+                    if self.ingest_batch(first_seq, &lane) {
+                        self.health[self.id].store(UNHEALTHY, Ordering::Release);
+                        return (WorkerExit::Killed, self.delivered);
+                    }
+                }
                 ShardMsg::Flush(reply) => {
                     let _ = reply.send(self.flush());
                 }
                 ShardMsg::Digest(reply) => {
                     let _ = reply.send((self.id, state_digest(&self.forms)));
+                }
+                ShardMsg::Retire(reply) => {
+                    let state = RetiredState {
+                        forms: std::mem::take(&mut self.forms),
+                        quarantined: std::mem::take(&mut self.quarantined),
+                        durability: self.durability.take(),
+                        last_seq: self.last_seq,
+                        delivered: self.delivered,
+                    };
+                    match reply.send(state) {
+                        Ok(()) => return (WorkerExit::Retired, self.delivered),
+                        Err(err) => {
+                            // The supervisor gave up on the migration (its
+                            // receiver is gone): put the state back and keep
+                            // serving as if the Retire never arrived.
+                            let state = err.0;
+                            self.forms = state.forms;
+                            self.quarantined = state.quarantined;
+                            self.durability = state.durability;
+                        }
+                    }
                 }
             }
         }
@@ -247,6 +301,67 @@ impl ShardWorker {
                 let surviving = self.dfaults.surviving_tail_bytes(self.id, seq, d.unsynced_bytes());
                 let _ = d.kill_cut(surviving);
                 return true;
+            }
+        }
+        false
+    }
+
+    /// Applies one columnar lane of crossings, WAL-logged as a single
+    /// group-commit frame. Returns true when a scheduled durability fault
+    /// kills the worker.
+    ///
+    /// When a scheduled crash falls inside the batch's sequence range the
+    /// whole lane degrades to the per-event path, so the kill cut lands
+    /// exactly after the faulted append — byte-identical crash semantics to
+    /// single-event ingest (a synced batch frame would otherwise leave no
+    /// tail for the fault plan to cut).
+    fn ingest_batch(&mut self, first_seq: u64, lane: &ColumnarBatch) -> bool {
+        if lane.is_empty() {
+            return false;
+        }
+        let last = first_seq + lane.len() as u64 - 1;
+        if self.durability.is_some()
+            && (first_seq..=last).any(|s| s > self.last_seq && self.dfaults.crash_due(self.id, s))
+        {
+            for (i, (edge, forward, time)) in lane.iter().enumerate() {
+                let c = Crossing { edge, forward, time };
+                if self.ingest(first_seq + i as u64, &c) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        let mut applied: Vec<(u64, Crossing)> = Vec::with_capacity(lane.len());
+        for (i, (edge, forward, time)) in lane.iter().enumerate() {
+            let seq = first_seq + i as u64;
+            if seq <= self.last_seq {
+                continue; // dedup: replayed prefix from a previous incarnation
+            }
+            debug_assert_eq!(
+                seq,
+                self.last_seq + 1,
+                "ingest lane must hand out contiguous sequences"
+            );
+            self.last_seq = seq;
+            Metrics::bump(&self.metrics.ingested);
+            let c = Crossing { edge, forward, time };
+            if !apply_crossing(&mut self.forms, &c) {
+                Metrics::bump(&self.metrics.late_dropped);
+            }
+            applied.push((seq, c));
+        }
+        if applied.is_empty() {
+            return false;
+        }
+        if let Some(d) = self.durability.as_mut() {
+            let mark = d.append_batch(&applied, &self.forms).expect("WAL batch append");
+            Metrics::add(&self.metrics.wal_appends, applied.len() as u64);
+            Metrics::bump(&self.metrics.wal_group_commits);
+            if mark.snapshotted {
+                Metrics::bump(&self.metrics.snapshots_taken);
+            }
+            if let Some(durable) = mark.durable_seq {
+                self.durable_seq[self.id].store(durable, Ordering::Release);
             }
         }
         false
@@ -303,10 +418,16 @@ impl ShardWorker {
         // surface as a failed response, not kill the worker and hang every
         // later query routed to this shard.
         let mut refused = Vec::new();
+        let mut moved: Vec<(usize, BoundaryEdge)> = Vec::new();
         let mut served: Vec<(usize, BoundaryEdge)> = Vec::new();
         for &(idx, be) in &req.edges {
             if self.quarantined.contains(&be.edge) {
                 refused.push(idx);
+            } else if !self.forms.contains_key(&be.edge) {
+                // A shard-map migration moved the edge away while this
+                // request was queued: report it back so the aggregator can
+                // re-route to the current owner instead of panicking here.
+                moved.push((idx, be));
             } else {
                 served.push((idx, be));
             }
@@ -332,7 +453,7 @@ impl ShardWorker {
             Ok(counts) => {
                 Metrics::bump(&self.metrics.shard_served);
                 self.consecutive_panics = 0;
-                ShardResponse { shard: self.id, counts, refused, panicked: false }
+                ShardResponse { shard: self.id, counts, refused, moved, panicked: false }
             }
             Err(_) => {
                 Metrics::bump(&self.metrics.shard_panics);
@@ -343,7 +464,7 @@ impl ShardWorker {
                 // query burn retries against it.
                 escalate =
                     self.panic_threshold > 0 && self.consecutive_panics >= self.panic_threshold;
-                ShardResponse { shard: self.id, counts: Vec::new(), refused, panicked: true }
+                ShardResponse { shard: self.id, counts: Vec::new(), refused, moved, panicked: true }
             }
         };
         if fate.duplicate {

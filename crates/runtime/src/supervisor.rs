@@ -36,9 +36,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use stq_core::engine::QueryEngine;
 use stq_core::tracker::Crossing;
@@ -49,7 +49,10 @@ use stq_subscribe::SubscriptionRegistry;
 
 use crate::metrics::{Metrics, SubscriptionTrace};
 use crate::server::DurabilityConfig;
-use crate::shard::{ShardMsg, ShardWorker, WorkerExit, WorkerSeed, HEALTHY, RECOVERING};
+use crate::shard::{
+    RetiredState, ShardMsg, ShardWorker, WorkerExit, WorkerSeed, HEALTHY, RECOVERING,
+};
+use crate::shardmap::{Migration, ShardMap};
 
 /// Per-shard ingest bookkeeping, shared between the server (sequence
 /// assignment, redo retention) and the supervisor (recovery replay).
@@ -72,7 +75,23 @@ pub(crate) struct WorkerEvent {
 /// Messages the supervisor thread consumes.
 pub(crate) enum SupervisorMsg {
     Worker(WorkerEvent),
+    /// Execute a shard-map migration: retire the involved workers, move the
+    /// listed edge forms between their states, commit the new assignment,
+    /// and respawn. Replies on `done` when the protocol finishes.
+    Migrate {
+        moves: Vec<Migration>,
+        done: Sender<MigrationOutcome>,
+    },
     Shutdown,
+}
+
+/// The result of one migration request.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MigrationOutcome {
+    /// False when the migration was aborted (unhealthy shard, retire
+    /// timeout, or an empty move list) — the map was not committed.
+    pub committed: bool,
+    pub edges_moved: usize,
 }
 
 pub(crate) struct Supervisor {
@@ -80,6 +99,10 @@ pub(crate) struct Supervisor {
     /// Startup forms per shard — the recovery base when durability is off
     /// (`None` when durability is on: disk is the base then).
     base: Option<Vec<HashMap<usize, TrackingForm>>>,
+    /// Ingest sequence each durability-off recovery base was captured at:
+    /// recovery replays only redo events past it. Zero at startup; a
+    /// migration refreshes the involved bases to the retirement cut.
+    base_seq: Vec<u64>,
     /// Audit quarantine per shard, re-imposed on every respawn.
     quarantine: Vec<HashSet<usize>>,
     plan: FaultPlan,
@@ -97,6 +120,16 @@ pub(crate) struct Supervisor {
     /// re-snapshots all brackets) *before* the health flip, so a delta
     /// arriving mid-recovery can never survive into a pre-crash bracket.
     subs: Arc<SubscriptionRegistry>,
+    /// The edge→shard map, committed here (and only here) after a
+    /// migration's forms have physically moved.
+    map: Arc<dyn ShardMap>,
+    /// Senders to the shard channels, needed to post `Retire` during a
+    /// migration.
+    to_shards: Vec<Sender<ShardMsg>>,
+    /// Edges migrated *away* from each shard. Recovery's redo replay skips
+    /// these (the event's form now lives on another shard) while still
+    /// advancing the sequence floor, so replay stays gapless.
+    migrated_away: Vec<HashSet<usize>>,
     events_tx: Sender<SupervisorMsg>,
     handles: Vec<JoinHandle<()>>,
 }
@@ -119,12 +152,16 @@ impl Supervisor {
         metrics: Arc<Metrics>,
         engine: Arc<QueryEngine>,
         subs: Arc<SubscriptionRegistry>,
+        map: Arc<dyn ShardMap>,
+        to_shards: Vec<Sender<ShardMsg>>,
         events_tx: Sender<SupervisorMsg>,
     ) -> Self {
         let dfaults =
             durability.as_ref().map(|d| d.faults.clone()).unwrap_or_else(DurabilityFaultPlan::none);
+        let num_shards = receivers.len();
         let mut sup = Supervisor {
             base: if durability.is_none() { Some(parts.clone()) } else { None },
+            base_seq: vec![0; num_shards],
             durability,
             quarantine,
             plan,
@@ -137,6 +174,9 @@ impl Supervisor {
             metrics,
             engine,
             subs,
+            map,
+            to_shards,
+            migrated_away: vec![HashSet::new(); num_shards],
             events_tx,
             handles: Vec::new(),
         };
@@ -165,9 +205,18 @@ impl Supervisor {
         while let Ok(msg) = events_rx.recv() {
             match msg {
                 SupervisorMsg::Worker(ev) => self.recover(ev),
+                SupervisorMsg::Migrate { moves, done } => {
+                    let outcome = self.migrate(moves);
+                    let _ = done.send(outcome);
+                }
                 SupervisorMsg::Shutdown => break,
             }
         }
+        // The supervisor holds its own clones of the shard senders (for the
+        // Retire handshake); drop them so the workers see their channels
+        // disconnect — by shutdown time the runtime has already dropped the
+        // dispatcher-side senders.
+        self.to_shards.clear();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -205,7 +254,7 @@ impl Supervisor {
             }
             None => (
                 self.base.as_ref().expect("base forms kept when durability is off")[shard].clone(),
-                0,
+                self.base_seq[shard],
                 None,
             ),
         };
@@ -228,6 +277,17 @@ impl Supervisor {
         let mut redone = 0u64;
         let floor = last_seq;
         for &(seq, ref c) in lane.buf.iter().filter(|&&(seq, _)| seq > floor) {
+            if self.migrated_away[shard].contains(&c.edge) {
+                // The edge's form was migrated to another shard after this
+                // event was applied there; replaying it here would recreate
+                // a stale copy. Skip the apply but still advance the floor —
+                // the sequence stream stays gapless. (With durability on,
+                // the migration snapshot advanced the durable floor past
+                // every pre-migration event, so this only fires for the
+                // in-memory redo path.)
+                last_seq = seq;
+                continue;
+            }
             apply_crossing(&mut forms, c);
             if let Some(d) = durability.as_mut() {
                 d.append(seq, c, &forms).expect("redo WAL append");
@@ -285,6 +345,154 @@ impl Supervisor {
         self.metrics.recovery_us.record(t0.elapsed().as_micros() as u64);
     }
 
+    /// Executes one shard-map migration end to end. Runs on the supervisor
+    /// thread (so migrations are serialized against recoveries); ingest on
+    /// the involved shards is frozen by holding their lane locks in
+    /// ascending order for the whole protocol, which is also what makes the
+    /// dispatchers' `shard_of` re-check under a lane lock race-free.
+    fn migrate(&mut self, moves: Vec<Migration>) -> MigrationOutcome {
+        let aborted = MigrationOutcome { committed: false, edges_moved: 0 };
+        let moves: Vec<Migration> = moves.into_iter().filter(|m| m.from != m.to).collect();
+        let mut involved: Vec<usize> = moves.iter().flat_map(|m| [m.from, m.to]).collect();
+        involved.sort_unstable();
+        involved.dedup();
+        if moves.is_empty()
+            || involved.iter().any(|&s| self.health[s].load(Ordering::Acquire) != HEALTHY)
+        {
+            Metrics::bump(&self.metrics.rebalance_aborted);
+            return aborted;
+        }
+        let lanes = Arc::clone(&self.lanes);
+        let mut guards: Vec<_> = involved.iter().map(|&s| lanes[s].lock()).collect();
+        // Retire every involved worker. The shard channel is FIFO, so the
+        // reply proves every ingest sent before the lanes froze has been
+        // applied — Retire doubles as the quiesce barrier, no separate
+        // flush round-trip is needed.
+        let mut retired: HashMap<usize, RetiredState> = HashMap::new();
+        for &s in &involved {
+            let (tx, rx) = bounded(1);
+            let sent = self.to_shards[s].send(ShardMsg::Retire(tx)).is_ok();
+            let state = if sent { rx.recv_timeout(Duration::from_secs(10)).ok() } else { None };
+            match state {
+                Some(state) => {
+                    retired.insert(s, state);
+                }
+                None => {
+                    // Could not retire this worker (shutdown race or a
+                    // stuck shard): respawn the already-retired ones with
+                    // their state unchanged and abort. Dropping `rx` makes
+                    // a late Retire reply fail at the sender, which
+                    // restores that worker in place — the stale message is
+                    // harmless.
+                    for (s, st) in retired.drain() {
+                        self.spawn_worker(
+                            s,
+                            st.forms,
+                            st.quarantined,
+                            st.durability,
+                            st.last_seq,
+                            st.delivered,
+                        );
+                    }
+                    Metrics::bump(&self.metrics.rebalance_aborted);
+                    return aborted;
+                }
+            }
+        }
+        // Move the edge forms (and their quarantine flags) between the
+        // retired states. A move whose edge the source no longer holds is
+        // dropped — the plan raced an earlier migration of the same edge.
+        let mut committed_moves: Vec<Migration> = Vec::with_capacity(moves.len());
+        for &m in &moves {
+            let Some(form) = retired.get_mut(&m.from).expect("retired").forms.remove(&m.edge)
+            else {
+                continue;
+            };
+            retired.get_mut(&m.to).expect("retired").forms.insert(m.edge, form);
+            if retired.get_mut(&m.from).expect("retired").quarantined.remove(&m.edge) {
+                retired.get_mut(&m.to).expect("retired").quarantined.insert(m.edge);
+            }
+            if self.quarantine[m.from].remove(&m.edge) {
+                self.quarantine[m.to].insert(m.edge);
+            }
+            self.migrated_away[m.from].insert(m.edge);
+            self.migrated_away[m.to].remove(&m.edge);
+            committed_moves.push(m);
+        }
+        if committed_moves.is_empty() {
+            for (s, st) in retired.drain() {
+                self.spawn_worker(
+                    s,
+                    st.forms,
+                    st.quarantined,
+                    st.durability,
+                    st.last_seq,
+                    st.delivered,
+                );
+            }
+            Metrics::bump(&self.metrics.rebalance_aborted);
+            return aborted;
+        }
+        // Persist the cut. Durability-on shards re-snapshot (advancing the
+        // durable floor past every pre-migration event, so no migrated-away
+        // record can ever be WAL-replayed on its old shard); durability-off
+        // shards refresh the recovery base to the retirement cut and drop
+        // the now-covered redo buffer.
+        for (i, &s) in involved.iter().enumerate() {
+            let st = retired.get_mut(&s).expect("retired");
+            if let Some(d) = st.durability.as_mut() {
+                d.snapshot_now(&st.forms).expect("migration snapshot");
+                let durable = d.sync().expect("migration WAL sync");
+                self.durable_seq[s].store(durable, Ordering::Release);
+                Metrics::bump(&self.metrics.snapshots_taken);
+            }
+            if let Some(base) = self.base.as_mut() {
+                base[s] = st.forms.clone();
+                self.base_seq[s] = st.last_seq;
+                guards[i].buf.clear();
+            }
+        }
+        // Commit: the new assignment, the plan-cache drop, and the standing
+        // bracket re-snapshot all become visible while ingest is still
+        // frozen, so every layer observes the same map epoch.
+        self.map.commit(&committed_moves);
+        self.engine.invalidate();
+        Metrics::bump(&self.metrics.plan_invalidations);
+        let resnapped = self.subs.advance_epoch(std::iter::empty());
+        Metrics::add(&self.metrics.sub_resnapshots, resnapped.len() as u64);
+        self.metrics.sub_epoch.store(self.subs.epoch(), Ordering::Relaxed);
+        for u in &resnapped {
+            self.metrics.trace_subscription(SubscriptionTrace {
+                subscription: u.subscription.0,
+                epoch: u.epoch,
+                value: u.bracket.value,
+                lower: u.bracket.lower,
+                upper: u.bracket.upper,
+                cause: "resnapshot",
+            });
+        }
+        Metrics::bump(&self.metrics.rebalances);
+        Metrics::add(&self.metrics.edges_migrated, committed_moves.len() as u64);
+        self.metrics.map_epoch.store(self.map.epoch(), Ordering::Relaxed);
+        // Respawn. Health never left HEALTHY: queries sent during the
+        // window queued on the shard channels and are served by the new
+        // incarnations against the migrated form set.
+        let edges_moved = committed_moves.len();
+        for &s in &involved {
+            let st = retired.remove(&s).expect("retired");
+            self.spawn_worker(
+                s,
+                st.forms,
+                st.quarantined,
+                st.durability,
+                st.last_seq,
+                st.delivered,
+            );
+        }
+        drop(guards);
+        MigrationOutcome { committed: true, edges_moved }
+    }
+
     fn spawn_worker(
         &mut self,
         shard: usize,
@@ -314,7 +522,7 @@ impl Supervisor {
             .name(format!("stq-shard-{shard}"))
             .spawn(move || {
                 let (exit, delivered) = worker.run(rx);
-                if exit != WorkerExit::Shutdown {
+                if exit != WorkerExit::Shutdown && exit != WorkerExit::Retired {
                     let _ =
                         events.send(SupervisorMsg::Worker(WorkerEvent { shard, exit, delivered }));
                 }

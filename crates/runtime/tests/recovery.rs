@@ -130,7 +130,7 @@ fn kill_mid_ingest_recovers_byte_identical_state() {
     // shard digests are the uninterrupted truth.
     let rt_ref = runtime(f, RuntimeConfig { num_shards: ns, ..RuntimeConfig::default() });
     for &c in &events {
-        rt_ref.ingest(c);
+        rt_ref.ingest(c).expect("ingest");
     }
     rt_ref.flush_ingest();
     let want = rt_ref.shard_digests();
@@ -150,14 +150,14 @@ fn kill_mid_ingest_recovers_byte_identical_state() {
     );
     let (first, rest) = events.split_at(events.len() / 2);
     for &c in first {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     // Barrier: the respawned worker answers the flush, so this both proves
     // the first kill was survived and lines the lanes up for the second.
     let applied = rt.flush_ingest();
     assert_eq!(applied.iter().sum::<u64>(), first.len() as u64);
     for &c in rest {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
 
@@ -198,7 +198,7 @@ fn clean_restart_from_disk_matches_memory() {
         },
     );
     for &c in &events {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
     let want = rt.shard_digests();
@@ -234,7 +234,7 @@ fn post_recovery_answers_bracket_the_oracle() {
         },
     );
     for &c in &events {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
 

@@ -387,7 +387,7 @@ fn degraded_mode_escalation_upgrades_quarantined_answers() {
 
     // Ingesting a single event invalidates the snapshot-certified brackets:
     // every later answer falls back to the classic worst-case degradation.
-    rt.ingest(Crossing { time: 10_000.0, edge: quarantined[0], forward: true });
+    rt.ingest(Crossing { time: 10_000.0, edge: quarantined[0], forward: true }).expect("ingest");
     rt.flush_ingest();
     for spec in &all {
         let served = rt.query(spec.clone());

@@ -159,7 +159,7 @@ fn standing_equivalence_suite() {
         let events = stream(f.scenario.sensing.num_edges(), 600);
         for (tick, batch) in events.chunks(150).enumerate() {
             for &c in batch {
-                rt.ingest(c);
+                rt.ingest(c).expect("ingest");
             }
             rt.flush_ingest();
             assert_matches_reexecution(&rt, &subs, &format!("{ctx} tick {tick}"));
@@ -210,7 +210,7 @@ fn recovery_bumps_epoch_and_brackets_stay_identical() {
     let epoch0 = rt.subscription_stats().epoch;
 
     for &c in &stream(f.scenario.sensing.num_edges(), 500) {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
 
@@ -299,7 +299,7 @@ fn certified_intervals_tighten_standing_brackets() {
     // on identical bits: both certificate endpoints move in lockstep with
     // the worst case under new events.
     for &c in &stream(f.scenario.sensing.num_edges(), 450) {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
     let delta_maintained = rt.standing_brackets();
@@ -354,7 +354,7 @@ fn unsubscribe_stops_updates() {
     // Drain the baseline, then stream: the dead subscription stays silent.
     while h.updates.try_recv().is_ok() {}
     for &c in &stream(f.scenario.sensing.num_edges(), 200) {
-        rt.ingest(c);
+        rt.ingest(c).expect("ingest");
     }
     rt.flush_ingest();
     assert!(h.updates.try_recv().is_err(), "no pushes after unsubscribe");

@@ -380,9 +380,32 @@ impl SubscriptionRegistry {
     /// to the owning shard's ingest lane, so totals (and therefore
     /// degradation bounds) stay ahead of shard state at every instant.
     pub fn on_ingest(&self, c: &Crossing) -> IngestObservation {
-        let dir = usize::from(!c.forward);
         let mut inner = self.inner.lock();
-        let inner = &mut *inner;
+        self.on_ingest_locked(&mut inner, c)
+    }
+
+    /// Routes a whole ingest batch under **one** lock acquisition, applying
+    /// each event with semantics identical to [`on_ingest`](Self::on_ingest)
+    /// in input order. Returns the aggregate observation (summed deltas;
+    /// `late` set when any event was late). This is the registry half of the
+    /// batched-ingest path: totals, watermarks, and bracket deltas for the
+    /// batch land atomically with respect to epoch advances.
+    pub fn on_ingest_batch(&self, batch: &[Crossing]) -> IngestObservation {
+        if batch.is_empty() {
+            return IngestObservation::default();
+        }
+        let mut inner = self.inner.lock();
+        let mut agg = IngestObservation::default();
+        for c in batch {
+            let obs = self.on_ingest_locked(&mut inner, c);
+            agg.deltas += obs.deltas;
+            agg.late |= obs.late;
+        }
+        agg
+    }
+
+    fn on_ingest_locked(&self, inner: &mut Inner, c: &Crossing) -> IngestObservation {
+        let dir = usize::from(!c.forward);
         self.totals[c.edge][dir].fetch_add(1, Ordering::Relaxed);
         // Same predicate as `apply_crossing`: reject iff strictly behind the
         // last accepted timestamp in this direction.

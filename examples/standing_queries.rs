@@ -67,7 +67,8 @@ fn main() {
                 time: t0 + 1.0 + (sent + i) as f64 * 0.05,
                 edge: (sent + i) % ne,
                 forward: (sent + i) % 3 != 0,
-            });
+            })
+            .expect("ingest");
         }
         sent += 400;
         rt.flush_ingest();
